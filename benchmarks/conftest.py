@@ -1,0 +1,31 @@
+"""Shared configuration for the benchmark/reproduction harness.
+
+Each file under ``benchmarks/`` regenerates one table or figure of the
+paper and checks its *shape* against the published data (see DESIGN.md's
+experiment index).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Benchmarks use ``benchmark.pedantic(..., rounds=1)`` — the experiments
+are deterministic, and a single round keeps the full harness to a few
+minutes.  Regenerated rows are attached to ``benchmark.extra_info`` and
+printed, so the harness output stands in for the paper's figures.
+"""
+
+import pytest
+
+from repro.thermal.solver import SolverConfig
+
+#: Grid used for benchmark-quality thermal solves (the calibration grid).
+BENCH_GRID = SolverConfig(nx=48, ny=48)
+
+
+@pytest.fixture(scope="session")
+def bench_grid():
+    return BENCH_GRID
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run *fn* exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

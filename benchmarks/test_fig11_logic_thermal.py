@@ -1,0 +1,63 @@
+"""Figure 11: Logic+Logic thermals — baseline, repaired 3D, worst case.
+
+Paper values: 2D baseline 98.6 C; 3D floorplan (15% power saving, ~1.3x
+peak density after hotspot repair) 112.5 C; worst case (no savings, 2x
+density) 124.75 C.
+"""
+
+import pytest
+
+from conftest import BENCH_GRID, run_once
+from repro.analysis import compare_to_paper
+from repro.core.logic_on_logic import run_thermal_study
+
+PAPER = {
+    "2D Baseline": 98.6,
+    "3D": 112.5,
+    "3D Worstcase": 124.75,
+}
+
+
+@pytest.fixture(scope="module")
+def figure11_temps():
+    return run_thermal_study(BENCH_GRID)
+
+
+def test_fig11_regenerate(benchmark):
+    temps = run_once(benchmark, run_thermal_study, BENCH_GRID)
+    for name, value in temps.items():
+        benchmark.extra_info[name] = value
+    print("\n" + compare_to_paper(PAPER, temps, unit="C",
+                                  title="Figure 11: peak temperatures"))
+    assert temps["2D Baseline"] == pytest.approx(98.6, abs=2.0)
+    assert temps["3D"] == pytest.approx(112.5, abs=6.0)
+    assert temps["3D Worstcase"] == pytest.approx(124.75, abs=3.5)
+    assert temps["2D Baseline"] < temps["3D"] < temps["3D Worstcase"]
+
+
+class TestFigure11Values:
+    def test_baseline_matches(self, figure11_temps):
+        assert figure11_temps["2D Baseline"] == pytest.approx(98.6, abs=2.0)
+
+    def test_worstcase_matches(self, figure11_temps):
+        assert figure11_temps["3D Worstcase"] == pytest.approx(
+            124.75, abs=3.5
+        )
+
+    def test_3d_between(self, figure11_temps):
+        # Our repaired 3D floorplan lands a few degrees cooler than the
+        # paper's 112.5 C (see EXPERIMENTS.md); the required shape is a
+        # moderate rise over 2D, far below the worst case.
+        assert figure11_temps["3D"] == pytest.approx(112.5, abs=6.0)
+        assert (
+            figure11_temps["2D Baseline"]
+            < figure11_temps["3D"]
+            < figure11_temps["3D Worstcase"]
+        )
+
+    def test_worstcase_rise_dominates(self, figure11_temps):
+        rise_3d = figure11_temps["3D"] - figure11_temps["2D Baseline"]
+        rise_worst = (
+            figure11_temps["3D Worstcase"] - figure11_temps["2D Baseline"]
+        )
+        assert rise_worst > 1.8 * rise_3d  # paper: 26.2 vs 13.9

@@ -1,0 +1,64 @@
+"""Figure 3: peak temperature vs Cu-metal and bond-layer conductivity.
+
+Paper shape: both curves fall as conductivity rises from 3 to 60 W/mK;
+the Cu metal layers are the more sensitive of the two (their sweep spans
+roughly twice the bond layer's), and at the actual operating values the
+metal layers, not the bond, are the thermal bottleneck.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.core.experiments import get_experiment
+
+SWEEP = [60.0, 30.0, 12.0, 6.0, 3.0]
+
+
+@pytest.fixture(scope="module")
+def figure3_result():
+    return get_experiment("figure-3").run(nx=40, conductivities=SWEEP)
+
+
+def test_fig3_regenerate(benchmark):
+    result = run_once(
+        benchmark,
+        get_experiment("figure-3").run,
+        nx=32,
+        conductivities=[60.0, 12.0, 3.0],
+    )
+    benchmark.extra_info["cu_metal"] = result["cu_metal"]
+    benchmark.extra_info["bond"] = result["bond"]
+    print("\nFigure 3 (subset): peak C by layer conductivity")
+    for k in sorted(result["cu_metal"], reverse=True):
+        print(f"  k={k:5.1f} W/mK  cu-swept={result['cu_metal'][k]:7.2f}  "
+              f"bond-swept={result['bond'][k]:7.2f}")
+    # Shape: both monotone falling; Cu metal more sensitive.
+    for curve in (result["cu_metal"], result["bond"]):
+        values = [curve[k] for k in sorted(curve)]
+        assert all(a >= b - 1e-6 for a, b in zip(values, values[1:]))
+    cu_span = max(result["cu_metal"].values()) - min(result["cu_metal"].values())
+    bond_span = max(result["bond"].values()) - min(result["bond"].values())
+    assert cu_span > bond_span
+
+
+class TestFigure3Shape:
+    def test_curves_fall_with_conductivity(self, figure3_result):
+        for curve in (figure3_result["cu_metal"], figure3_result["bond"]):
+            values = [curve[k] for k in sorted(curve)]
+            # Peak temperature decreases as k increases.
+            assert all(a >= b - 1e-6 for a, b in zip(values, values[1:]))
+
+    def test_cu_metal_is_more_sensitive(self, figure3_result):
+        cu = figure3_result["cu_metal"]
+        bond = figure3_result["bond"]
+        cu_span = max(cu.values()) - min(cu.values())
+        bond_span = max(bond.values()) - min(bond.values())
+        assert cu_span > bond_span
+
+    def test_actual_values_crossing(self, figure3_result):
+        # At the actual constants (Cu=12, bond=60), the Cu-swept curve at
+        # its actual value equals the bond-swept curve at its actual
+        # value (both describe the same nominal stack).
+        cu_at_actual = figure3_result["cu_metal"][12.0]
+        bond_at_actual = figure3_result["bond"][60.0]
+        assert cu_at_actual == pytest.approx(bond_at_actual, abs=0.5)

@@ -1,0 +1,64 @@
+"""Figure 6: the planar Core 2 Duo power map and thermal map.
+
+Paper values: two hottest spots at 88.35 C (FP / reservation stations /
+load-store units), coolest on-die area at 59 C, with a 92 W skew, desktop
+cooling, and 40 C ambient.
+"""
+
+import pytest
+
+from conftest import BENCH_GRID, run_once
+from repro.analysis import ascii_heatmap
+from repro.floorplan import core2duo_floorplan
+from repro.thermal import simulate_planar
+
+PAPER_PEAK_C = 88.35
+PAPER_COOLEST_C = 59.0
+
+
+@pytest.fixture(scope="module")
+def figure6_solution():
+    return simulate_planar(core2duo_floorplan(), BENCH_GRID)
+
+
+def test_fig6_regenerate(benchmark):
+    solution = run_once(
+        benchmark, simulate_planar, core2duo_floorplan(), BENCH_GRID
+    )
+    benchmark.extra_info["peak_c"] = solution.peak_temperature()
+    benchmark.extra_info["coolest_c"] = solution.coolest_on_die()
+    print("\nFigure 6b: baseline thermal map (active layer)")
+    print(ascii_heatmap(solution.die_map("metal-1"), width=48))
+    print(f"  peak    {solution.peak_temperature():6.2f} C "
+          f"(paper {PAPER_PEAK_C})")
+    print(f"  coolest {solution.coolest_on_die():6.2f} C "
+          f"(paper {PAPER_COOLEST_C})")
+    assert solution.peak_temperature() == pytest.approx(PAPER_PEAK_C, abs=2.0)
+    assert solution.coolest_on_die() == pytest.approx(PAPER_COOLEST_C, abs=2.0)
+
+
+class TestFigure6Values:
+    def test_peak_matches_paper(self, figure6_solution):
+        assert figure6_solution.peak_temperature() == pytest.approx(
+            PAPER_PEAK_C, abs=2.0
+        )
+
+    def test_coolest_matches_paper(self, figure6_solution):
+        assert figure6_solution.coolest_on_die() == pytest.approx(
+            PAPER_COOLEST_C, abs=2.0
+        )
+
+    def test_hotspot_in_core_region(self, figure6_solution):
+        import numpy as np
+
+        die_map = figure6_solution.die_map("metal-1")
+        j, _ = np.unravel_index(np.argmax(die_map), die_map.shape)
+        # Cores are the top half of the die; the L2 is the bottom half.
+        assert j >= die_map.shape[0] // 2
+
+    def test_cache_half_is_coolest(self, figure6_solution):
+        import numpy as np
+
+        die_map = figure6_solution.die_map("metal-1")
+        j, _ = np.unravel_index(np.argmin(die_map), die_map.shape)
+        assert j < die_map.shape[0] // 2

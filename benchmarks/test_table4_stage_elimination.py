@@ -1,0 +1,81 @@
+"""Table 4: pipe stages eliminated per functional area and the
+performance gain of each, over the 650-trace suite.
+
+Paper values (percent gain): front-end 0.2, trace cache 0.33, rename
+0.66, FP latency 4.0, int RF 0.5, D$ read 1.5, instruction loop 1.0,
+retire/dealloc 1.0, FP load 2.0, store lifetime 3.0 — totalling ~15%
+from ~25% of stages eliminated.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.analysis import compare_to_paper
+from repro.core.logic_on_logic import run_performance_study
+
+PAPER_ROWS = {
+    "front_end": 0.2,
+    "trace_cache": 0.33,
+    "rename_alloc": 0.66,
+    "fp_wire": 4.0,
+    "int_rf_read": 0.5,
+    "data_cache_read": 1.5,
+    "instruction_loop": 1.0,
+    "retire_dealloc": 1.0,
+    "fp_load": 2.0,
+    "store_lifetime": 3.0,
+}
+
+
+@pytest.fixture(scope="module")
+def table4_result():
+    return run_performance_study()
+
+
+def test_table4_regenerate(benchmark):
+    result = run_once(benchmark, run_performance_study)
+    benchmark.extra_info["total_gain_pct"] = result.total_gain_pct
+    benchmark.extra_info["per_row"] = result.per_row_gains
+    print("\n" + compare_to_paper(
+        PAPER_ROWS, result.per_row_gains, unit="%",
+        title="Table 4: per-area performance gains",
+    ))
+    print(f"  stages eliminated: {result.stages_eliminated_pct:.1f}% "
+          "(paper ~25%)")
+    print(f"  total gain:        {result.total_gain_pct:.1f}% (paper ~15%)")
+    assert result.total_gain_pct == pytest.approx(15.0, abs=1.0)
+    for area, target in PAPER_ROWS.items():
+        assert result.per_row_gains[area] == pytest.approx(
+            target, abs=max(0.35, target * 0.2)
+        ), area
+
+
+class TestTable4Values:
+    @pytest.mark.parametrize("area", list(PAPER_ROWS))
+    def test_row_gain(self, table4_result, area):
+        assert table4_result.per_row_gains[area] == pytest.approx(
+            PAPER_ROWS[area], abs=max(0.35, PAPER_ROWS[area] * 0.2)
+        )
+
+    def test_total_gain_15_percent(self, table4_result):
+        assert table4_result.total_gain_pct == pytest.approx(15.0, abs=1.0)
+
+    def test_stages_eliminated_25_percent(self, table4_result):
+        assert table4_result.stages_eliminated_pct == pytest.approx(
+            25.0, abs=3.0
+        )
+
+    def test_fp_latency_is_the_biggest_row(self, table4_result):
+        gains = table4_result.per_row_gains
+        assert max(gains, key=gains.get) == "fp_wire"
+
+    def test_row_ordering_matches_paper(self, table4_result):
+        # The big three in order: FP latency > store lifetime > FP load.
+        gains = table4_result.per_row_gains
+        assert gains["fp_wire"] > gains["store_lifetime"] > gains["fp_load"]
+
+    def test_power_reduction_15_percent(self, table4_result):
+        assert table4_result.power_reduction_pct == pytest.approx(
+            15.0, abs=1.0
+        )
+        assert table4_result.stacked_power_w == pytest.approx(125.0, abs=1.0)

@@ -1,0 +1,94 @@
+"""Table 5: frequency and voltage scaling of the Logic+Logic 3D floorplan.
+
+The conversion equations are the paper's own (0.82% performance per 1%
+frequency; 1% frequency per 1% Vcc; P ~ V^2 f), so the power and
+performance columns reproduce almost exactly; temperatures come from our
+thermal model.
+
+Paper rows: Baseline 147 W / 100% / 99 C; Same Pwr 147 W / 129% / 127 C;
+Same Freq 125 W / 115% / 113 C; Same Temp 97.28 W / 108% / 99 C at
+Vcc 0.92; Same Perf 68.2 W / 100% / 77 C at Vcc 0.82.
+"""
+
+import pytest
+
+from conftest import BENCH_GRID, run_once
+from repro.analysis import format_table5
+from repro.core.logic_on_logic import run_logic_study, thermal_map_3d_power
+from repro.uarch.dvfs import table5_points
+
+PAPER = {
+    "Baseline": dict(power_w=147.0, perf_pct=100.0, temp_c=99.0),
+    "Same Pwr": dict(power_w=147.0, perf_pct=129.0, temp_c=127.0),
+    "Same Freq.": dict(power_w=125.0, perf_pct=115.0, temp_c=113.0),
+    "Same Temp": dict(power_w=97.28, perf_pct=108.0, temp_c=99.0),
+    "Same Perf.": dict(power_w=68.2, perf_pct=100.0, temp_c=77.0),
+}
+
+
+@pytest.fixture(scope="module")
+def table5_rows():
+    result = run_logic_study(solver=BENCH_GRID)
+    return {p.name: p for p in result.table5}
+
+
+def test_table5_regenerate(benchmark):
+    def build():
+        thermal = thermal_map_3d_power(BENCH_GRID)
+        return table5_points(thermal=thermal)
+
+    points = run_once(benchmark, build)
+    rows = [
+        {
+            "name": p.name, "vcc": p.vcc, "freq": p.freq,
+            "power_w": p.power_w, "power_pct": p.power_pct,
+            "perf_pct": p.perf_pct, "temp_c": p.temp_c,
+        }
+        for p in points
+    ]
+    benchmark.extra_info["rows"] = {
+        p.name: [p.power_w, p.perf_pct, p.temp_c] for p in points
+    }
+    print("\n" + format_table5(rows))
+    by_name = {p.name: p for p in points}
+    for name, expected in PAPER.items():
+        assert by_name[name].power_w == pytest.approx(
+            expected["power_w"], abs=1.5
+        ), name
+        assert by_name[name].perf_pct == pytest.approx(
+            expected["perf_pct"], abs=1.0
+        ), name
+
+
+class TestTable5Values:
+    @pytest.mark.parametrize("name", list(PAPER))
+    def test_power_column(self, table5_rows, name):
+        assert table5_rows[name].power_w == pytest.approx(
+            PAPER[name]["power_w"], abs=1.5
+        )
+
+    @pytest.mark.parametrize("name", list(PAPER))
+    def test_perf_column(self, table5_rows, name):
+        assert table5_rows[name].perf_pct == pytest.approx(
+            PAPER[name]["perf_pct"], abs=1.0
+        )
+
+    @pytest.mark.parametrize("name", list(PAPER))
+    def test_temp_column_shape(self, table5_rows, name):
+        # Temperatures come from our solver; allow a wider band but
+        # require every row within 10 C of the paper's.
+        assert table5_rows[name].temp_c == pytest.approx(
+            PAPER[name]["temp_c"], abs=10.0
+        )
+
+    def test_headline_same_temp(self, table5_rows):
+        # "a simultaneous 34% power reduction and 8% performance
+        # improvement" at neutral thermals.
+        row = table5_rows["Same Temp"]
+        assert 100.0 - row.power_pct == pytest.approx(34.0, abs=1.5)
+        assert row.perf_pct - 100.0 == pytest.approx(8.0, abs=1.0)
+
+    def test_same_perf_halves_power(self, table5_rows):
+        # "Scaling to neutral performance yields a 54% power reduction."
+        row = table5_rows["Same Perf."]
+        assert 100.0 - row.power_pct == pytest.approx(54.0, abs=1.5)

@@ -1,0 +1,42 @@
+"""repro: a reproduction of "Die Stacking (3D) Microarchitecture"
+(Black et al., MICRO-39, 2006).
+
+The library rebuilds the paper's entire modeling environment in Python:
+
+* ``repro.core`` — the 3D stacking studies themselves (Memory+Logic and
+  Logic+Logic) and the experiment registry for every table and figure.
+* ``repro.memsim`` — the trace-driven multi-processor memory hierarchy
+  simulator (Section 2.1).
+* ``repro.traces`` — dependency-annotated RMS workload trace generation
+  (Table 1).
+* ``repro.uarch`` — the deeply pipelined microarchitecture performance,
+  power, and DVFS models (Sections 2.2 and 4).
+* ``repro.thermal`` — the 3D finite-volume thermal simulator
+  (Section 2.3, Table 2).
+* ``repro.floorplan`` — block-level floorplans and power maps for the
+  studied processors.
+* ``repro.analysis`` — tables, ASCII thermal maps, and paper-vs-measured
+  comparison rendering.
+
+Quick start::
+
+    from repro.core.memory_on_logic import run_memory_study
+    from repro.core.logic_on_logic import run_logic_study
+
+    memory = run_memory_study(workloads=["svm", "gauss"], scale=8)
+    print(memory.cpma["svm"])          # CPMA per configuration
+    logic = run_logic_study()
+    print(logic.total_gain_pct)        # ~15% (Table 4)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "core",
+    "floorplan",
+    "memsim",
+    "thermal",
+    "traces",
+    "uarch",
+]

@@ -1,0 +1,30 @@
+"""Reporting utilities: tables, ASCII heat maps, paper comparisons."""
+
+from repro.analysis.tables import format_table, format_figure5, format_table5
+from repro.analysis.heatmap import ascii_heatmap
+from repro.analysis.compare import ComparisonRow, compare_to_paper
+from repro.analysis.figures import (
+    SvgCanvas,
+    render_all_figures,
+    render_figure3,
+    render_figure5,
+    render_grouped_bars,
+    render_lines,
+    render_paper_comparison_bars,
+)
+
+__all__ = [
+    "format_table",
+    "format_figure5",
+    "format_table5",
+    "ascii_heatmap",
+    "ComparisonRow",
+    "compare_to_paper",
+    "SvgCanvas",
+    "render_all_figures",
+    "render_figure3",
+    "render_figure5",
+    "render_grouped_bars",
+    "render_lines",
+    "render_paper_comparison_bars",
+]

@@ -1,0 +1,70 @@
+"""Paper-vs-measured comparison rendering.
+
+Used by the benchmark harness and EXPERIMENTS.md generation to put every
+measured number next to its published counterpart with a deviation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Union
+
+Number = Union[int, float]
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One compared quantity.
+
+    Attributes:
+        name: Quantity label.
+        paper: Published value (None if the paper gives only a shape).
+        measured: Our value.
+        unit: Display unit.
+    """
+
+    name: str
+    paper: Optional[Number]
+    measured: Number
+    unit: str = ""
+
+    @property
+    def deviation_pct(self) -> Optional[float]:
+        """Relative deviation from the paper value, percent."""
+        if self.paper is None or self.paper == 0:
+            return None
+        return 100.0 * (self.measured - self.paper) / abs(self.paper)
+
+    def render(self) -> str:
+        paper = "-" if self.paper is None else f"{self.paper:.2f}"
+        deviation = self.deviation_pct
+        dev = "" if deviation is None else f"  ({deviation:+.1f}%)"
+        unit = f" {self.unit}" if self.unit else ""
+        return (
+            f"{self.name:32} paper {paper:>8}{unit:6} "
+            f"measured {self.measured:8.2f}{unit}{dev}"
+        )
+
+
+def compare_to_paper(
+    paper: Mapping[str, Number],
+    measured: Mapping[str, Number],
+    unit: str = "",
+    title: Optional[str] = None,
+) -> str:
+    """Render aligned paper-vs-measured rows for matching keys."""
+    rows: List[str] = []
+    if title:
+        rows.append(title)
+    for key, paper_value in paper.items():
+        if key not in measured:
+            continue
+        rows.append(
+            ComparisonRow(
+                name=key,
+                paper=float(paper_value),
+                measured=float(measured[key]),
+                unit=unit,
+            ).render()
+        )
+    return "\n".join(rows)

@@ -1,0 +1,67 @@
+"""ASCII rendering of thermal and power-density maps.
+
+Terminal-friendly stand-in for the colour maps of Figures 6 and 8: each
+cell of a 2D field becomes a character from a luminance ramp, with the
+extremes annotated — enough to see the hotspot structure (FP/RS/LdSt hot,
+cache cool, epoxy edge drop) without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+#: Luminance ramp, coolest to hottest.
+_RAMP = " .:-=+*#%@"
+
+
+def ascii_heatmap(
+    field: np.ndarray,
+    width: int = 64,
+    vmin: Optional[float] = None,
+    vmax: Optional[float] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render a 2D array as an ASCII heat map.
+
+    Args:
+        field: 2D array (row 0 rendered at the bottom, like die
+            coordinates).
+        width: Output width in characters; height follows the aspect
+            ratio (characters are ~2x taller than wide).
+        vmin: Scale minimum (default: field min).
+        vmax: Scale maximum (default: field max).
+        title: Optional heading.
+
+    Returns:
+        The rendered map with a scale legend.
+    """
+    if field.ndim != 2:
+        raise ValueError(f"expected a 2D field, got shape {field.shape}")
+    lo = float(field.min()) if vmin is None else vmin
+    hi = float(field.max()) if vmax is None else vmax
+    span = max(hi - lo, 1e-12)
+
+    ny, nx = field.shape
+    width = max(8, width)
+    height = max(4, int(width * ny / nx / 2))
+    # Nearest-neighbour resample to the character grid.
+    ys = (np.arange(height) + 0.5) * ny / height
+    xs = (np.arange(width) + 0.5) * nx / width
+    sampled = field[ys.astype(int)[:, None], xs.astype(int)[None, :]]
+
+    lines = []
+    if title:
+        lines.append(title)
+    for j in range(height - 1, -1, -1):
+        chars = []
+        for i in range(width):
+            t = (sampled[j, i] - lo) / span
+            idx = int(min(max(t, 0.0), 1.0) * (len(_RAMP) - 1))
+            chars.append(_RAMP[idx])
+        lines.append("".join(chars))
+    lines.append(
+        f"scale: '{_RAMP[0]}' = {lo:.2f}  ..  '{_RAMP[-1]}' = {hi:.2f}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,230 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — the registered experiments (every table/figure).
+* ``run <experiment-id>`` — run one experiment and print its results
+  next to the published values.
+* ``memory`` — the Section 3 study (Figure 5 + Figure 8 + headlines).
+* ``logic`` — the Section 4 study (Table 4 + Figure 11 + Table 5).
+* ``thermal-map`` — ASCII thermal maps of the baseline and the 32 MB
+  stack (Figures 6b / 8b).
+* ``figures`` — render every regenerable figure to SVG files.
+* ``validate`` — run the acceptance suite: every quantity graded
+  pass/shape/fail against the published values.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis import (
+    ascii_heatmap,
+    compare_to_paper,
+    format_figure5,
+    format_table5,
+)
+from repro.core.experiments import get_experiment, list_experiments
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("Registered experiments (paper tables/figures):")
+    for experiment_id in list_experiments():
+        experiment = get_experiment(experiment_id)
+        print(f"  {experiment_id:12} {experiment.title}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    experiment = get_experiment(args.experiment)
+    kwargs = {}
+    if args.nx:
+        kwargs["nx"] = args.nx
+    if args.scale:
+        kwargs["scale"] = args.scale
+    result = experiment.run(**kwargs)
+    print(f"{experiment.id}: {experiment.title}")
+    print("\npaper values:")
+    print(json.dumps(experiment.paper_values, indent=2, default=str))
+    print("\nmeasured:")
+    print(json.dumps(result, indent=2, default=str))
+    return 0
+
+
+def _cmd_memory(args: argparse.Namespace) -> int:
+    from repro.core.memory_on_logic import run_memory_study
+
+    workloads = args.workloads.split(",") if args.workloads else None
+    result = run_memory_study(
+        workloads=workloads,
+        scale=args.scale or 8,
+        length_factor=args.length_factor,
+    )
+    print(format_figure5(result.cpma, result.bandwidth))
+    print()
+    paper = {"2D 4MB": 88.35, "3D 12MB": 92.85, "3D 32MB": 88.43,
+             "3D 64MB": 90.27}
+    print(compare_to_paper(paper, result.peak_temps, unit="C",
+                           title="Figure 8a: peak temperatures"))
+    print(f"\nmax CPMA reduction at 32MB: "
+          f"{100 * result.max_cpma_reduction():.1f}% (paper: up to 55%)")
+    print(f"bus power reduction:        "
+          f"{100 * result.bus_power_reduction():.1f}% (paper: 66%)")
+    return 0
+
+
+def _cmd_logic(args: argparse.Namespace) -> int:
+    from repro.core.logic_on_logic import run_logic_study
+    from repro.thermal.solver import SolverConfig
+
+    solver = SolverConfig(nx=args.nx or 48, ny=args.nx or 48)
+    result = run_logic_study(solver=solver, solve_temp_point=args.solve_temp)
+    paper_rows = {
+        "front_end": 0.2, "trace_cache": 0.33, "rename_alloc": 0.66,
+        "fp_wire": 4.0, "int_rf_read": 0.5, "data_cache_read": 1.5,
+        "instruction_loop": 1.0, "retire_dealloc": 1.0, "fp_load": 2.0,
+        "store_lifetime": 3.0,
+    }
+    print(compare_to_paper(paper_rows, result.per_row_gains, unit="%",
+                           title="Table 4: per-area gains"))
+    print(f"\ntotal gain {result.total_gain_pct:.1f}% (paper ~15%), "
+          f"power -{result.power_reduction_pct:.1f}% (paper -15%)")
+    paper_temps = {"2D Baseline": 98.6, "3D": 112.5, "3D Worstcase": 124.75}
+    measured = {
+        "2D Baseline": result.peak_temp_2d,
+        "3D": result.peak_temp_3d,
+        "3D Worstcase": result.peak_temp_worstcase,
+    }
+    print()
+    print(compare_to_paper(paper_temps, measured, unit="C",
+                           title="Figure 11: peak temperatures"))
+    print()
+    print(format_table5([
+        {"name": p.name, "vcc": p.vcc, "freq": p.freq, "power_w": p.power_w,
+         "power_pct": p.power_pct, "perf_pct": p.perf_pct, "temp_c": p.temp_c}
+        for p in result.table5
+    ]))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.analysis import render_all_figures
+
+    written = render_all_figures(
+        args.out,
+        scale=args.scale,
+        length_factor=args.length_factor,
+        nx=args.nx or 40,
+        workloads=args.workloads.split(",") if args.workloads else None,
+    )
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.thermal.solver import SolverConfig
+    from repro.validation import run_validation
+
+    grid = SolverConfig(nx=args.nx or 48, ny=args.nx or 48)
+    report = run_validation(
+        grid=grid,
+        scale=args.scale,
+        length_factor=args.length_factor,
+        include_memory=not args.skip_memory,
+    )
+    print(report.render())
+    return 1 if report.failures else 0
+
+
+def _cmd_thermal_map(args: argparse.Namespace) -> int:
+    from repro.floorplan import core2duo_floorplan, stacked_cache_die
+    from repro.thermal import simulate_planar, simulate_stack
+    from repro.thermal.solver import SolverConfig
+
+    config = SolverConfig(nx=args.nx or 48, ny=args.nx or 48)
+    planar = simulate_planar(core2duo_floorplan(), config)
+    print(ascii_heatmap(
+        planar.die_map("metal-1"), width=args.width,
+        title="Figure 6b: 2D baseline (active layer)",
+    ))
+    print(f"peak {planar.peak_temperature():.2f} C / coolest "
+          f"{planar.coolest_on_die():.2f} C (paper: 88.35 / 59)\n")
+    cpu = core2duo_floorplan(with_l2=False)
+    stacked = simulate_stack(
+        cpu, stacked_cache_die("dram-32mb", cpu), die2_metal="al",
+        config=config,
+    )
+    print(ascii_heatmap(
+        stacked.die_map("metal-1"), width=args.width,
+        title="Figure 8b: 3D 32MB stack (CPU active layer)",
+    ))
+    print(f"peak {stacked.peak_temperature():.2f} C (paper: 88.43)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Die Stacking (3D) Microarchitecture - reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments")
+
+    run = sub.add_parser("run", help="run one table/figure experiment")
+    run.add_argument("experiment", help="experiment id (see 'list')")
+    run.add_argument("--nx", type=int, help="thermal grid resolution")
+    run.add_argument("--scale", type=int, help="capacity/footprint scale")
+
+    memory = sub.add_parser("memory", help="Section 3 Memory+Logic study")
+    memory.add_argument("--workloads", help="comma-separated kernel names")
+    memory.add_argument("--scale", type=int, default=8)
+    memory.add_argument("--length-factor", type=float, default=0.5)
+
+    logic = sub.add_parser("logic", help="Section 4 Logic+Logic study")
+    logic.add_argument("--nx", type=int, help="thermal grid resolution")
+    logic.add_argument("--solve-temp", action="store_true",
+                       help="solve the Same Temp Vcc with our thermals")
+
+    tmap = sub.add_parser("thermal-map", help="ASCII thermal maps")
+    tmap.add_argument("--nx", type=int, help="thermal grid resolution")
+    tmap.add_argument("--width", type=int, default=56, help="map width")
+
+    figures = sub.add_parser(
+        "figures", help="render every figure to SVG files"
+    )
+    figures.add_argument("--out", default="figures", help="output directory")
+    figures.add_argument("--nx", type=int, help="thermal grid resolution")
+    figures.add_argument("--scale", type=int, default=16)
+    figures.add_argument("--length-factor", type=float, default=0.5)
+    figures.add_argument("--workloads", help="comma-separated kernel names")
+
+    validate = sub.add_parser("validate", help="run the acceptance suite")
+    validate.add_argument("--nx", type=int, help="thermal grid resolution")
+    validate.add_argument("--scale", type=int, default=16)
+    validate.add_argument("--length-factor", type=float, default=0.5)
+    validate.add_argument("--skip-memory", action="store_true",
+                          help="skip the (slow) Figure 5 subset")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "memory": _cmd_memory,
+        "logic": _cmd_logic,
+        "thermal-map": _cmd_thermal_map,
+        "figures": _cmd_figures,
+        "validate": _cmd_validate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,260 @@
+"""Registry of the paper's tables and figures as runnable experiments.
+
+Every evaluation artifact of the paper maps to one entry here; each
+entry's ``run`` callable executes the experiment (possibly scaled down
+via keyword arguments) and returns a result dictionary.  The benchmark
+harness in ``benchmarks/`` drives these, and ``repro.analysis`` renders
+them next to the published values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible table/figure.
+
+    Attributes:
+        id: Paper artifact id, e.g. ``"figure-5"``.
+        title: What the paper reports.
+        paper_values: The published numbers (for comparison output).
+        run: Callable producing measured values.
+    """
+
+    id: str
+    title: str
+    paper_values: Dict[str, Any]
+    run: Callable[..., Dict[str, Any]]
+
+
+def _run_figure3(**kwargs: Any) -> Dict[str, Any]:
+    from repro.floorplan.pentium4 import pentium4_3d_floorplans
+    from repro.thermal.solver import SolverConfig, solve_steady_state
+    from repro.thermal.stack import build_3d_stack
+
+    nx = kwargs.get("nx", 48)
+    sweep = kwargs.get("conductivities", [60.0, 30.0, 12.0, 6.0, 3.0])
+    bottom, top = pentium4_3d_floorplans()
+    base = build_3d_stack(bottom, top, die2_metal="cu")
+    config = SolverConfig(nx=nx, ny=nx)
+    cu_curve: Dict[float, float] = {}
+    bond_curve: Dict[float, float] = {}
+    for k in sweep:
+        s_cu = base.replace_layer(base.layer("metal-1").with_conductivity(k))
+        s_cu = s_cu.replace_layer(s_cu.layer("metal-2").with_conductivity(k))
+        cu_curve[k] = solve_steady_state(s_cu, config).peak_temperature()
+        s_bond = base.replace_layer(base.layer("bond").with_conductivity(k))
+        bond_curve[k] = solve_steady_state(s_bond, config).peak_temperature()
+    return {"cu_metal": cu_curve, "bond": bond_curve}
+
+
+def _run_figure5(**kwargs: Any) -> Dict[str, Any]:
+    from repro.core.memory_on_logic import run_performance_study
+
+    result = run_performance_study(
+        workloads=kwargs.get("workloads"),
+        scale=kwargs.get("scale", 8),
+        length_factor=kwargs.get("length_factor", 1.0),
+    )
+    return {
+        "cpma": result.cpma,
+        "bandwidth": result.bandwidth,
+        "avg_cpma_reduction_32mb": result.cpma_reduction("3D 32MB"),
+        "max_cpma_reduction_32mb": result.max_cpma_reduction("3D 32MB"),
+        "bus_power_reduction_32mb": result.bus_power_reduction("3D 32MB"),
+    }
+
+
+def _run_figure6(**kwargs: Any) -> Dict[str, Any]:
+    from repro.floorplan.core2duo import core2duo_floorplan
+    from repro.thermal.model import simulate_planar
+    from repro.thermal.solver import SolverConfig
+
+    nx = kwargs.get("nx", 48)
+    solution = simulate_planar(
+        core2duo_floorplan(), SolverConfig(nx=nx, ny=nx)
+    )
+    return {
+        "peak_c": solution.peak_temperature(),
+        "coolest_c": solution.coolest_on_die(),
+        "hottest_layer": solution.hottest_layer(),
+    }
+
+
+def _run_figure8(**kwargs: Any) -> Dict[str, Any]:
+    from repro.core.memory_on_logic import run_thermal_study
+    from repro.thermal.solver import SolverConfig
+
+    nx = kwargs.get("nx", 48)
+    return run_thermal_study(SolverConfig(nx=nx, ny=nx))
+
+
+def _run_figure11(**kwargs: Any) -> Dict[str, Any]:
+    from repro.core.logic_on_logic import run_thermal_study
+    from repro.thermal.solver import SolverConfig
+
+    nx = kwargs.get("nx", 48)
+    return run_thermal_study(SolverConfig(nx=nx, ny=nx))
+
+
+def _run_table4(**kwargs: Any) -> Dict[str, Any]:
+    from repro.core.logic_on_logic import run_performance_study
+
+    result = run_performance_study()
+    return {
+        "per_row_gains_pct": result.per_row_gains,
+        "total_gain_pct": result.total_gain_pct,
+        "stages_eliminated_pct": result.stages_eliminated_pct,
+    }
+
+
+def _run_table5(**kwargs: Any) -> Dict[str, Any]:
+    from repro.core.logic_on_logic import run_logic_study
+    from repro.thermal.solver import SolverConfig
+
+    nx = kwargs.get("nx", 48)
+    result = run_logic_study(
+        solver=SolverConfig(nx=nx, ny=nx),
+        solve_temp_point=kwargs.get("solve_temp_point", False),
+    )
+    return {
+        "rows": [
+            {
+                "name": p.name,
+                "vcc": p.vcc,
+                "freq": p.freq,
+                "power_w": p.power_w,
+                "power_pct": p.power_pct,
+                "perf_pct": p.perf_pct,
+                "temp_c": p.temp_c,
+            }
+            for p in result.table5
+        ]
+    }
+
+
+def _run_headlines(**kwargs: Any) -> Dict[str, Any]:
+    from repro.core.logic_on_logic import run_performance_study
+
+    logic = run_performance_study()
+    return {
+        "logic_perf_gain_pct": logic.total_gain_pct,
+        "logic_power_reduction_pct": logic.power_reduction_pct,
+        "stages_eliminated_pct": logic.stages_eliminated_pct,
+    }
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    e.id: e
+    for e in [
+        Experiment(
+            id="figure-3",
+            title="Peak temperature vs Cu-metal and bond-layer conductivity",
+            paper_values={
+                "shape": "both curves fall with k; Cu metal is steeper",
+                "cu_range_c": (82.5, 89.0),
+                "bond_range_c": (82.5, 86.5),
+            },
+            run=_run_figure3,
+        ),
+        Experiment(
+            id="figure-5",
+            title="CPMA and off-die BW for 12 RMS workloads x 4 capacities",
+            paper_values={
+                "avg_cpma_reduction_32mb": 0.13,
+                "max_cpma_reduction_32mb": 0.55,
+                "bw_reduction_32mb": "3x",
+                "winners": ["gauss", "pcg", "smvm", "strans", "sus", "svm"],
+            },
+            run=_run_figure5,
+        ),
+        Experiment(
+            id="figure-6",
+            title="Baseline Core 2 Duo thermal map",
+            paper_values={"peak_c": 88.35, "coolest_c": 59.0},
+            run=_run_figure6,
+        ),
+        Experiment(
+            id="figure-8",
+            title="Peak temperature of the four Memory+Logic configurations",
+            paper_values={
+                "2D 4MB": 88.35,
+                "3D 12MB": 92.85,
+                "3D 32MB": 88.43,
+                "3D 64MB": 90.27,
+            },
+            run=_run_figure8,
+        ),
+        Experiment(
+            id="figure-11",
+            title="Logic+Logic thermals: baseline / 3D / worst case",
+            paper_values={
+                "2D Baseline": 98.6,
+                "3D": 112.5,
+                "3D Worstcase": 124.75,
+            },
+            run=_run_figure11,
+        ),
+        Experiment(
+            id="table-4",
+            title="Pipe stages eliminated and per-area performance gains",
+            paper_values={
+                "front_end": 0.2,
+                "trace_cache": 0.33,
+                "rename_alloc": 0.66,
+                "fp_wire": 4.0,
+                "int_rf_read": 0.5,
+                "data_cache_read": 1.5,
+                "instruction_loop": 1.0,
+                "retire_dealloc": 1.0,
+                "fp_load": 2.0,
+                "store_lifetime": 3.0,
+                "total": 15.0,
+                "stages_eliminated": 25.0,
+            },
+            run=_run_table4,
+        ),
+        Experiment(
+            id="table-5",
+            title="Voltage/frequency scaling of the 3D floorplan",
+            paper_values={
+                "Baseline": dict(power_w=147, perf_pct=100, temp_c=99, vcc=1.0, freq=1.0),
+                "Same Pwr": dict(power_w=147, perf_pct=129, temp_c=127, vcc=1.0, freq=1.18),
+                "Same Freq.": dict(power_w=125, perf_pct=115, temp_c=113, vcc=1.0, freq=1.0),
+                "Same Temp": dict(power_w=97.28, perf_pct=108, temp_c=99, vcc=0.92, freq=0.92),
+                "Same Perf.": dict(power_w=68.2, perf_pct=100, temp_c=77, vcc=0.82, freq=0.82),
+            },
+            run=_run_table5,
+        ),
+        Experiment(
+            id="headlines",
+            title="Section 3/4 headline results",
+            paper_values={
+                "logic_perf_gain_pct": 15.0,
+                "logic_power_reduction_pct": 15.0,
+                "memory_avg_cpma_reduction_pct": 13.0,
+                "memory_bus_power_reduction_pct": 66.0,
+            },
+            run=_run_headlines,
+        ),
+    ]
+}
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up an experiment by its paper artifact id."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def list_experiments() -> List[str]:
+    """All registered experiment ids."""
+    return list(EXPERIMENTS)

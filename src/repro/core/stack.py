@@ -1,0 +1,197 @@
+"""Physical model of a two-die face-to-face 3D stack (Figure 1).
+
+Captures the structural facts the paper builds on: two dies bonded
+face-to-face through a dense die-to-die (d2d) via interface whose
+electrical characteristics resemble on-die vias (not I/O pads), with
+through-silicon vias (TSVs) carrying power and I/O through the thinned
+die #2, and the thick die #1 facing the heat sink.
+
+The d2d interface model quantifies the paper's key electrical claim: "The
+RC of the all copper die to die interconnect used to interface the DRAM
+to the processor is comparable to 1/3 the RC of a typical via stack from
+first metal to last metal" — which is what makes the stacked interface
+dramatically lower-power than off-die I/O (20 mW/Gb/s buses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.floorplan.blocks import Floorplan, stack_outline_matches
+
+#: RC of a full first-to-last-metal via stack, normalized to 1.0.
+VIA_STACK_RC = 1.0
+
+#: RC of the d2d via path relative to a full via stack (paper: ~1/3).
+D2D_RC_FRACTION = 1.0 / 3.0
+
+#: Energy per bit of a conventional off-die bus at 20 mW/Gb/s, joules.
+OFFDIE_ENERGY_PER_BIT_J = 20e-3 / 1e9
+
+#: d2d via pitch, micrometres (dense face-to-face interfaces of the era).
+D2D_PITCH_UM = 10.0
+
+
+@dataclass(frozen=True)
+class D2DInterface:
+    """The face-to-face die-to-die via interface.
+
+    Attributes:
+        pitch_um: Via pitch, micrometres.
+        signal_fraction: Fraction of vias carrying signals (the rest are
+            power/ground and mechanical).
+        rc_vs_via_stack: RC relative to a first-to-last-metal via stack.
+        latency_cycles: Core cycles to cross the interface.
+    """
+
+    pitch_um: float = D2D_PITCH_UM
+    signal_fraction: float = 0.5
+    rc_vs_via_stack: float = D2D_RC_FRACTION
+    latency_cycles: int = 4
+
+    def __post_init__(self) -> None:
+        if self.pitch_um <= 0:
+            raise ValueError("via pitch must be positive")
+        if not 0 < self.signal_fraction <= 1:
+            raise ValueError("signal fraction must be in (0, 1]")
+
+    def via_count(self, width_mm: float, height_mm: float) -> int:
+        """Total d2d vias across a bonded area."""
+        per_mm = 1000.0 / self.pitch_um
+        return int(width_mm * per_mm) * int(height_mm * per_mm)
+
+    def signal_count(self, width_mm: float, height_mm: float) -> int:
+        """Signal vias available across a bonded area."""
+        return int(self.via_count(width_mm, height_mm) * self.signal_fraction)
+
+    def energy_per_bit_j(self) -> float:
+        """Energy per bit crossing the d2d interface.
+
+        Scaled from the off-die figure by the RC ratio: switching energy
+        is proportional to the capacitance driven, and the d2d path is
+        ~1/3 of a via stack versus the board-level trace an off-die bus
+        drives (~50x a via stack).
+        """
+        via_stack_vs_offdie = 1.0 / 50.0
+        return (
+            OFFDIE_ENERGY_PER_BIT_J * self.rc_vs_via_stack * via_stack_vs_offdie
+        )
+
+    def bandwidth_gbps(
+        self, width_mm: float, height_mm: float, ghz: float = 4.0
+    ) -> float:
+        """Aggregate interface bandwidth, GB/s, at one bit/cycle per via."""
+        return self.signal_count(width_mm, height_mm) * ghz / 8.0
+
+
+@dataclass(frozen=True)
+class Die:
+    """One die in the stack.
+
+    Attributes:
+        floorplan: Block-level floorplan (power map).
+        kind: ``"logic"`` or ``"dram"`` — selects the metal stack
+            (Table 2: 12 um Cu for logic, 2 um Al for DRAM).
+        bulk_um: Bulk silicon thickness, micrometres.
+    """
+
+    floorplan: Floorplan
+    kind: str = "logic"
+    bulk_um: float = 750.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("logic", "dram"):
+            raise ValueError(f"die kind must be 'logic' or 'dram', got {self.kind!r}")
+        if self.bulk_um <= 0:
+            raise ValueError("bulk thickness must be positive")
+
+    @property
+    def metal(self) -> str:
+        return "cu" if self.kind == "logic" else "al"
+
+    @property
+    def power_w(self) -> float:
+        return self.floorplan.total_power
+
+
+@dataclass
+class DieStack:
+    """A two-die face-to-face stack.
+
+    Die ordering follows Figure 1 / Table 2: ``die_near_sink`` keeps its
+    full-thickness bulk Si toward the heat sink; ``die_near_bumps`` is
+    thinned for the TSVs that carry power and I/O.
+
+    The paper's placement rule is enforced as a validation (not an
+    error): :meth:`validate` reports whether the highest-power die is
+    closest to the heat sink.
+    """
+
+    die_near_sink: Die
+    die_near_bumps: Die
+    interface: D2DInterface = field(default_factory=D2DInterface)
+
+    def __post_init__(self) -> None:
+        if not stack_outline_matches(
+            self.die_near_sink.floorplan, self.die_near_bumps.floorplan
+        ):
+            raise ValueError(
+                "face-to-face bonding requires matching die outlines"
+            )
+
+    @property
+    def total_power_w(self) -> float:
+        return self.die_near_sink.power_w + self.die_near_bumps.power_w
+
+    @property
+    def footprint_mm2(self) -> float:
+        plan = self.die_near_sink.floorplan
+        return plan.die_width * plan.die_height
+
+    def hot_die_near_sink(self) -> bool:
+        """True if the placement follows the paper's rule ("the highest
+        power die is placed closest to the heat sink")."""
+        return self.die_near_sink.power_w >= self.die_near_bumps.power_w
+
+    def interface_bandwidth_gbps(self, ghz: float = 4.0) -> float:
+        """Peak d2d bandwidth over the bonded area."""
+        plan = self.die_near_sink.floorplan
+        return self.interface.bandwidth_gbps(
+            plan.die_width, plan.die_height, ghz
+        )
+
+    def interface_power_w(self, traffic_gbps: float) -> float:
+        """Interface power at a given traffic level, watts."""
+        bits_per_s = traffic_gbps * 8e9
+        return bits_per_s * self.interface.energy_per_bit_j()
+
+    def validate(self) -> List[str]:
+        """Design-rule report: empty list means clean."""
+        problems: List[str] = []
+        if not self.hot_die_near_sink():
+            problems.append(
+                "higher-power die is away from the heat sink "
+                f"({self.die_near_bumps.power_w:.1f} W over "
+                f"{self.die_near_sink.power_w:.1f} W)"
+            )
+        if self.die_near_bumps.bulk_um > 100.0:
+            problems.append(
+                "die #2 must be thinned to 20-100 um for TSV construction "
+                f"(got {self.die_near_bumps.bulk_um} um)"
+            )
+        return problems
+
+
+def build_stack(
+    near_sink: Floorplan,
+    near_bumps: Floorplan,
+    bumps_kind: str = "logic",
+    interface: Optional[D2DInterface] = None,
+) -> DieStack:
+    """Convenience constructor following Table 2's thicknesses."""
+    return DieStack(
+        die_near_sink=Die(near_sink, kind="logic", bulk_um=750.0),
+        die_near_bumps=Die(near_bumps, kind=bumps_kind, bulk_um=20.0),
+        interface=interface or D2DInterface(),
+    )

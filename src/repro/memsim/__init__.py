@@ -1,0 +1,54 @@
+"""Trace-driven multi-processor memory hierarchy simulator.
+
+Implements the paper's Section 2.1 modeling environment: a memory
+hierarchy simulator that models "all aspects of the memory hierarchy
+including DRAM caches with banks, RAS, CAS, page sizes, etc.", replaying
+dependency-annotated traces — a dependent access does not issue until the
+record it depends on has completed.  Configuration defaults follow
+Table 3 verbatim; see :mod:`repro.memsim.config`.
+
+The top-level entry point is :func:`repro.memsim.replay.replay_trace`,
+which returns CPMA (cycles per memory access), off-die bandwidth, and bus
+power — the three quantities Figure 5 and the Section 3 headline results
+report.
+"""
+
+from repro.memsim.config import (
+    BusConfig,
+    CacheConfig,
+    DdrConfig,
+    DramBankTiming,
+    DramCacheConfig,
+    HierarchyConfig,
+    baseline_config,
+    stacked_dram_config,
+    stacked_memory_config,
+    stacked_sram_config,
+)
+from repro.memsim.cache import SetAssociativeCache
+from repro.memsim.dram import BankedDram
+from repro.memsim.dramcache import DramCache
+from repro.memsim.bus import OffDieBus
+from repro.memsim.hierarchy import AccessResult, MemoryHierarchy
+from repro.memsim.replay import ReplayStats, replay_trace
+
+__all__ = [
+    "BusConfig",
+    "CacheConfig",
+    "DdrConfig",
+    "DramBankTiming",
+    "DramCacheConfig",
+    "HierarchyConfig",
+    "baseline_config",
+    "stacked_sram_config",
+    "stacked_dram_config",
+    "stacked_memory_config",
+    "SetAssociativeCache",
+    "BankedDram",
+    "DramCache",
+    "OffDieBus",
+    "AccessResult",
+    "MemoryHierarchy",
+    "ReplayStats",
+    "replay_trace",
+]

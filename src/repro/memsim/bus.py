@@ -1,0 +1,69 @@
+"""The off-die bus: bandwidth-limited transfers and bus power accounting.
+
+Table 3 gives the off-die bus 16 GB/s; Section 3 uses 20 mW/Gb/s to turn
+measured bandwidth into bus power ("Assuming a bus power consumption rate
+of 20mW/Gb/s, 3D stacking of DRAM reduces bus power by 0.5W").
+
+The bus serializes transfers: a transfer occupies the bus for
+``bytes / bytes_per_cycle`` cycles, and a request arriving while the bus
+is busy waits.  Total bytes moved feed the bandwidth and power metrics.
+"""
+
+from __future__ import annotations
+
+from repro.memsim.config import BusConfig
+
+
+class OffDieBus:
+    """A single shared bus with busy-time tracking."""
+
+    def __init__(self, config: BusConfig, name: str = "bus") -> None:
+        self.config = config
+        self.name = name
+        self._free_at = 0.0
+        self.total_bytes = 0
+        self.transfers = 0
+        self.total_wait_cycles = 0.0
+
+    def transfer(self, t: float, n_bytes: int) -> float:
+        """Move *n_bytes* across the bus starting no earlier than *t*.
+
+        Returns the completion time.  Contention is modeled by the bus
+        busy time: the transfer begins when the bus goes free.
+        """
+        if n_bytes <= 0:
+            raise ValueError(f"transfer size must be positive, got {n_bytes}")
+        start = t if t > self._free_at else self._free_at
+        self.total_wait_cycles += start - t
+        done = start + n_bytes / self.config.bytes_per_cycle
+        self._free_at = done
+        self.total_bytes += n_bytes
+        self.transfers += 1
+        return done
+
+    def account_only(self, n_bytes: int) -> None:
+        """Charge bandwidth for background traffic (writebacks) without
+        serializing the requester on it."""
+        if n_bytes <= 0:
+            raise ValueError(f"transfer size must be positive, got {n_bytes}")
+        self._free_at += n_bytes / self.config.bytes_per_cycle
+        self.total_bytes += n_bytes
+        self.transfers += 1
+
+    def bandwidth_gbps(self, elapsed_cycles: float, clock_ghz: float) -> float:
+        """Average achieved bandwidth in GB/s over *elapsed_cycles*."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        bytes_per_cycle = self.total_bytes / elapsed_cycles
+        return bytes_per_cycle * clock_ghz  # B/cycle * Gcycle/s = GB/s
+
+    def power_w(self, elapsed_cycles: float, clock_ghz: float) -> float:
+        """Average bus power in watts at the configured mW/Gb/s rate."""
+        gbit_per_s = 8.0 * self.bandwidth_gbps(elapsed_cycles, clock_ghz)
+        return gbit_per_s * self.config.power_mw_per_gbps / 1000.0
+
+    def reset_stats(self) -> None:
+        """Zero counters (busy time is kept, for warmup continuity)."""
+        self.total_bytes = 0
+        self.transfers = 0
+        self.total_wait_cycles = 0.0

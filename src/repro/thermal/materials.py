@@ -1,0 +1,103 @@
+"""Material properties for the 3D stack thermal model.
+
+The die-stack constants are taken verbatim from Table 2 of the paper; the
+package-level materials (TIM, IHS, substrate, socket, motherboard) are
+standard desktop-package values, calibrated so the baseline planar
+Core 2 Duo solve lands at the paper's published operating point
+(88.35 C peak / 59 C coolest at 92 W, 40 C ambient — Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class Material:
+    """A homogeneous material in the thermal model.
+
+    Attributes:
+        name: Identifier.
+        conductivity: Thermal conductivity, W/(m K).
+        volumetric_heat_capacity: rho*c, J/(m^3 K) — used only by the
+            transient solver (Equation 1's time term).
+    """
+
+    name: str
+    conductivity: float
+    volumetric_heat_capacity: float = 1.6e6
+
+    def __post_init__(self) -> None:
+        if self.conductivity <= 0:
+            raise ValueError(
+                f"material {self.name!r} must have positive conductivity, "
+                f"got {self.conductivity}"
+            )
+        if self.volumetric_heat_capacity <= 0:
+            raise ValueError(
+                f"material {self.name!r} must have positive heat capacity"
+            )
+
+
+#: Ambient temperature used throughout the paper's analysis, Celsius (Table 2).
+AMBIENT_C = 40.0
+
+#: Table 2 constants, verbatim.  Thicknesses in micrometres, conductivities
+#: in W/(m K).
+TABLE2_CONSTANTS: Dict[str, float] = {
+    "si1_thickness_um": 750.0,   # bulk Si of the die next to the heat sink
+    "si2_thickness_um": 20.0,    # bulk Si of the die next to the bumps
+    "si_conductivity": 120.0,
+    "cu_metal_thickness_um": 12.0,   # logic metal stack
+    "cu_metal_conductivity": 12.0,   # accounts for low-k dielectric + vias
+    "al_metal_thickness_um": 2.0,    # DRAM metal stack
+    "al_metal_conductivity": 9.0,
+    "bond_thickness_um": 15.0,       # die-to-die bonding layer
+    "bond_conductivity": 60.0,       # accounts for cavities + d2d via density
+    "heat_sink_conductivity": 400.0,
+    "ambient_c": AMBIENT_C,
+}
+
+#: Named materials used by the stack builders.
+MATERIALS: Dict[str, Material] = {
+    # -- Table 2 die-stack materials --------------------------------------
+    "bulk-si": Material("bulk-si", TABLE2_CONSTANTS["si_conductivity"], 1.63e6),
+    "cu-metal": Material("cu-metal", TABLE2_CONSTANTS["cu_metal_conductivity"]),
+    "al-metal": Material("al-metal", TABLE2_CONSTANTS["al_metal_conductivity"]),
+    "bond": Material("bond", TABLE2_CONSTANTS["bond_conductivity"]),
+    "heat-sink": Material("heat-sink", TABLE2_CONSTANTS["heat_sink_conductivity"], 2.43e6),
+    # -- Package-level materials (calibrated desktop package) -------------
+    "ihs-copper": Material("ihs-copper", 390.0, 3.45e6),
+    "tim": Material("tim", 10.0),           # thermal interface material
+    "underfill": Material("underfill", 1.5),  # C4 bumps + underfill
+    "package": Material("package", 15.0),   # organic substrate w/ Cu planes
+    "socket": Material("socket", 0.3),
+    "motherboard": Material("motherboard", 0.8),
+    "epoxy-fillet": Material("epoxy-fillet", 0.8),  # fill around die edges
+    "air-gap": Material("air-gap", 0.05),
+}
+
+
+def get_material(name: str) -> Material:
+    """Look up a material by name, raising a clear error for typos."""
+    try:
+        return MATERIALS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown material {name!r}; known: {sorted(MATERIALS)}"
+        ) from None
+
+
+#: Effective heat-transfer coefficient of the forced-convection heat sink,
+#: W/(m^2 K), lumped onto the sink's base-plate footprint.  Calibrated so
+#: the 92 W planar baseline peaks at ~88 C (Figure 6).
+HEATSINK_H_EFF = 5400.0
+
+#: Natural-convection coefficient on the motherboard back side, W/(m^2 K).
+MOTHERBOARD_H = 10.0
+
+#: Lateral extent of the package/heat-sink thermal domain, metres.  The die
+#: sits centred in this domain; the extra area provides heat-spreading paths
+#: through the IHS and heat sink.
+DOMAIN_SIZE_M = 0.034

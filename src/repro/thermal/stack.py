@@ -1,0 +1,347 @@
+"""Layer-stack construction for the thermal solver.
+
+A :class:`ThermalStack` is the vertical cross-section of Figure 2: heat
+sink, IHS, the die stack of Figure 1, package, socket, and motherboard,
+described as a top-to-bottom list of :class:`Layer` objects.  Each layer has
+a material inside the die footprint and a (usually low-conductivity) fill
+material outside it — the paper's thermal maps show the epoxy fillet around
+the die edge, which this two-region scheme reproduces.
+
+Two builders are provided: :func:`build_planar_stack` for the 2D baseline
+(single die) and :func:`build_3d_stack` for a face-to-face two-die stack.
+Per Figure 1 and Table 2, die #1 (750 um bulk Si) is adjacent to the heat
+sink and die #2 (thinned to 20 um) is adjacent to the C4 bumps; power is
+dissipated in the active/metal layer of each die.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from repro.floorplan.blocks import Floorplan
+from repro.thermal.materials import (
+    DOMAIN_SIZE_M,
+    TABLE2_CONSTANTS,
+    Material,
+    get_material,
+)
+
+#: Metres per micrometre / millimetre, for readability below.
+UM = 1e-6
+MM = 1e-3
+
+
+@dataclass(frozen=True)
+class DieSpec:
+    """One die of a multi-die stack (see :func:`build_multi_stack`).
+
+    Attributes:
+        floorplan: Power map of the die.
+        metal: ``"cu"`` (logic) or ``"al"`` (DRAM), per Table 2.
+        bulk_um: Bulk Si thickness; 0 selects the Table 2 default (750 um
+            for the heat-sink die, 20 um thinned otherwise).
+    """
+
+    floorplan: Floorplan
+    metal: str = "cu"
+    bulk_um: float = 0.0
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One horizontal layer of the thermal stack.
+
+    Attributes:
+        name: Unique layer name within the stack.
+        thickness_m: Layer thickness, metres.
+        material_in: Material inside the die footprint.
+        material_out: Material outside the die footprint (fill/air/epoxy).
+        divisions: Number of finite-volume cells across the thickness.
+        power_plan: If set, this floorplan's power is dissipated uniformly
+            through the layer's thickness (used for active/metal layers).
+    """
+
+    name: str
+    thickness_m: float
+    material_in: Material
+    material_out: Material
+    divisions: int = 1
+    power_plan: Optional[Floorplan] = None
+
+    def __post_init__(self) -> None:
+        if self.thickness_m <= 0:
+            raise ValueError(f"layer {self.name!r} must have positive thickness")
+        if self.divisions < 1:
+            raise ValueError(f"layer {self.name!r} needs at least one division")
+
+    def with_conductivity(self, conductivity: float) -> "Layer":
+        """Copy of this layer with the in-die material conductivity replaced.
+
+        Used for the Figure 3 sensitivity sweep over the Cu-metal and bond
+        layer conductivities.
+        """
+        material = Material(f"{self.material_in.name}*", conductivity)
+        return replace(self, material_in=material)
+
+
+@dataclass
+class ThermalStack:
+    """A complete stacked-die/package/board thermal configuration.
+
+    Attributes:
+        name: Configuration name for reports.
+        die_width_m: Die footprint width, metres.
+        die_height_m: Die footprint height, metres.
+        layers: Layers ordered top (heat-sink side) to bottom (board side).
+        domain_size_m: Lateral extent of the square solve domain; the die
+            footprint is centred inside it.
+    """
+
+    name: str
+    die_width_m: float
+    die_height_m: float
+    layers: List[Layer] = field(default_factory=list)
+    domain_size_m: float = DOMAIN_SIZE_M
+
+    def __post_init__(self) -> None:
+        if self.die_width_m > self.domain_size_m or self.die_height_m > self.domain_size_m:
+            raise ValueError(
+                f"die ({self.die_width_m}x{self.die_height_m} m) does not fit "
+                f"in the {self.domain_size_m} m domain"
+            )
+        names = [layer.name for layer in self.layers]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate layer names in stack {self.name!r}")
+
+    def layer(self, name: str) -> Layer:
+        """Look up a layer by name."""
+        for layer in self.layers:
+            if layer.name == name:
+                return layer
+        raise KeyError(f"stack {self.name!r} has no layer {name!r}")
+
+    def replace_layer(self, layer: Layer) -> "ThermalStack":
+        """Return a new stack with the same-named layer replaced."""
+        if all(existing.name != layer.name for existing in self.layers):
+            raise KeyError(f"stack {self.name!r} has no layer {layer.name!r}")
+        new_layers = [
+            layer if existing.name == layer.name else existing
+            for existing in self.layers
+        ]
+        return ThermalStack(
+            self.name,
+            self.die_width_m,
+            self.die_height_m,
+            new_layers,
+            self.domain_size_m,
+        )
+
+    @property
+    def total_power(self) -> float:
+        """Total dissipated power across all powered layers, W."""
+        return sum(
+            layer.power_plan.total_power
+            for layer in self.layers
+            if layer.power_plan is not None
+        )
+
+
+def _package_top_layers() -> List[Layer]:
+    """Heat sink, TIM, and IHS — common to every configuration."""
+    return [
+        Layer("heat-sink", 4.0 * MM, get_material("heat-sink"),
+              get_material("heat-sink"), divisions=3),
+        Layer("tim1", 100.0 * UM, get_material("tim"), get_material("tim")),
+        Layer("ihs", 2.0 * MM, get_material("ihs-copper"),
+              get_material("ihs-copper"), divisions=2),
+        Layer("tim2", 50.0 * UM, get_material("tim"), get_material("air-gap")),
+    ]
+
+
+def _package_bottom_layers() -> List[Layer]:
+    """C4/underfill, package substrate, socket, and motherboard."""
+    return [
+        Layer("c4-underfill", 80.0 * UM, get_material("underfill"),
+              get_material("epoxy-fillet")),
+        Layer("package", 1.2 * MM, get_material("package"),
+              get_material("package")),
+        Layer("socket", 2.0 * MM, get_material("socket"), get_material("socket")),
+        Layer("motherboard", 1.6 * MM, get_material("motherboard"),
+              get_material("motherboard")),
+    ]
+
+
+def build_planar_stack(die: Floorplan, name: Optional[str] = None) -> ThermalStack:
+    """The 2D reference configuration: a single die in a desktop package.
+
+    Power is dissipated in the die's Cu metal/active layer, which sits face
+    down toward the package (flip-chip), with the 750 um bulk Si toward the
+    heat sink.
+    """
+    t = TABLE2_CONSTANTS
+    layers = _package_top_layers()
+    layers += [
+        Layer("bulk-si-1", t["si1_thickness_um"] * UM, get_material("bulk-si"),
+              get_material("epoxy-fillet"), divisions=2),
+        Layer("metal-1", t["cu_metal_thickness_um"] * UM, get_material("cu-metal"),
+              get_material("epoxy-fillet"), power_plan=die),
+    ]
+    layers += _package_bottom_layers()
+    return ThermalStack(
+        name or f"planar: {die.name}",
+        die.die_width * MM,
+        die.die_height * MM,
+        layers,
+    )
+
+
+def build_multi_stack(
+    dies: List["DieSpec"],
+    name: Optional[str] = None,
+) -> ThermalStack:
+    """An N-die stack (the paper's "it is also possible to stack many
+    die" extension; N = 2 reduces to :func:`build_3d_stack`).
+
+    Die ordering is heat-sink side first.  Die #1 keeps its full-thickness
+    bulk Si toward the sink and bonds face-to-face with die #2; each
+    further die is thinned and bonded back-to-face through a TSV/bond
+    layer, the construction of multi-die DRAM stacks (and what production
+    HBM later standardized).
+
+    Args:
+        dies: Heat-sink side first.  Each entry gives the die's floorplan,
+            metal ("cu"/"al"), and bulk thickness (defaults: 750 um for
+            die #1, 20 um for the rest).
+        name: Optional stack name.
+
+    Returns:
+        The assembled :class:`ThermalStack`.
+
+    Raises:
+        ValueError: On fewer than two dies or mismatched outlines.
+    """
+    if len(dies) < 2:
+        raise ValueError("a stack needs at least two dies")
+    first = dies[0].floorplan
+    for spec in dies[1:]:
+        if (
+            abs(first.die_width - spec.floorplan.die_width) > 1e-9
+            or abs(first.die_height - spec.floorplan.die_height) > 1e-9
+        ):
+            raise ValueError("all dies in a stack must share an outline")
+
+    t = TABLE2_CONSTANTS
+    epoxy = get_material("epoxy-fillet")
+
+    def metal_layer(index: int, spec: "DieSpec") -> Layer:
+        if spec.metal == "cu":
+            return Layer(
+                f"metal-{index}", t["cu_metal_thickness_um"] * UM,
+                get_material("cu-metal"), epoxy, power_plan=spec.floorplan,
+            )
+        if spec.metal == "al":
+            return Layer(
+                f"metal-{index}", t["al_metal_thickness_um"] * UM,
+                get_material("al-metal"), epoxy, power_plan=spec.floorplan,
+            )
+        raise ValueError(f"die metal must be 'cu' or 'al', got {spec.metal!r}")
+
+    layers = _package_top_layers()
+    bulk1 = dies[0].bulk_um if dies[0].bulk_um else t["si1_thickness_um"]
+    layers.append(
+        Layer("bulk-si-1", bulk1 * UM, get_material("bulk-si"), epoxy,
+              divisions=2)
+    )
+    layers.append(metal_layer(1, dies[0]))
+    for index, spec in enumerate(dies[1:], start=2):
+        layers.append(
+            Layer(f"bond-{index - 1}", t["bond_thickness_um"] * UM,
+                  get_material("bond"), epoxy)
+        )
+        layers.append(metal_layer(index, spec))
+        bulk = spec.bulk_um if spec.bulk_um else t["si2_thickness_um"]
+        layers.append(
+            Layer(f"bulk-si-{index}", bulk * UM, get_material("bulk-si"),
+                  epoxy)
+        )
+    layers += _package_bottom_layers()
+    return ThermalStack(
+        name or f"{len(dies)}-die stack: {first.name}",
+        first.die_width * MM,
+        first.die_height * MM,
+        layers,
+    )
+
+
+def build_3d_stack(
+    die_near_sink: Floorplan,
+    die_near_bumps: Floorplan,
+    die2_metal: str = "cu",
+    die2_bulk_um: Optional[float] = None,
+    name: Optional[str] = None,
+) -> ThermalStack:
+    """A face-to-face two-die stack per Figure 1.
+
+    Args:
+        die_near_sink: Die #1 — the high-power die placed closest to the
+            heat sink (the CPU die in every configuration in the paper).
+        die_near_bumps: Die #2 — thinned die next to the C4 bumps (the
+            cache die in Memory+Logic, the second logic die in
+            Logic+Logic).
+        die2_metal: ``"cu"`` for a logic die (12 um Cu stack) or ``"al"``
+            for a DRAM die (2 um Al stack), per Table 2.
+        die2_bulk_um: Bulk Si thickness of die #2; defaults to Table 2's
+            20 um.
+        name: Optional stack name.
+
+    Returns:
+        The assembled :class:`ThermalStack`.
+
+    Raises:
+        ValueError: If the two dies' outlines differ (face-to-face bonding
+            requires matching footprints) or die2_metal is unknown.
+    """
+    if (
+        abs(die_near_sink.die_width - die_near_bumps.die_width) > 1e-9
+        or abs(die_near_sink.die_height - die_near_bumps.die_height) > 1e-9
+    ):
+        raise ValueError(
+            "face-to-face stacking requires matching die outlines: "
+            f"{die_near_sink.die_width}x{die_near_sink.die_height} vs "
+            f"{die_near_bumps.die_width}x{die_near_bumps.die_height} mm"
+        )
+    t = TABLE2_CONSTANTS
+    if die2_metal == "cu":
+        metal2 = Layer(
+            "metal-2", t["cu_metal_thickness_um"] * UM, get_material("cu-metal"),
+            get_material("epoxy-fillet"), power_plan=die_near_bumps,
+        )
+    elif die2_metal == "al":
+        metal2 = Layer(
+            "metal-2", t["al_metal_thickness_um"] * UM, get_material("al-metal"),
+            get_material("epoxy-fillet"), power_plan=die_near_bumps,
+        )
+    else:
+        raise ValueError(f"die2_metal must be 'cu' or 'al', got {die2_metal!r}")
+    bulk2_um = t["si2_thickness_um"] if die2_bulk_um is None else die2_bulk_um
+
+    layers = _package_top_layers()
+    layers += [
+        Layer("bulk-si-1", t["si1_thickness_um"] * UM, get_material("bulk-si"),
+              get_material("epoxy-fillet"), divisions=2),
+        Layer("metal-1", t["cu_metal_thickness_um"] * UM, get_material("cu-metal"),
+              get_material("epoxy-fillet"), power_plan=die_near_sink),
+        Layer("bond", t["bond_thickness_um"] * UM, get_material("bond"),
+              get_material("epoxy-fillet")),
+        metal2,
+        Layer("bulk-si-2", bulk2_um * UM, get_material("bulk-si"),
+              get_material("epoxy-fillet")),
+    ]
+    layers += _package_bottom_layers()
+    return ThermalStack(
+        name or f"3D: {die_near_sink.name} + {die_near_bumps.name}",
+        die_near_sink.die_width * MM,
+        die_near_sink.die_height * MM,
+        layers,
+    )

@@ -1,0 +1,158 @@
+"""Transient thermal solver — Equation (1) with its time term.
+
+The paper solves the steady heat-conduction problem; its Equation (1)
+is written with the full ``rho c dT/dt`` term, so this module implements
+it too: an implicit (backward-Euler) integration of
+
+    M dT/dt = -A T + b,
+
+where A/b are the steady finite-volume operator and source from
+:func:`repro.thermal.solver.assemble_system` and M is the lumped cell
+heat capacity.  Backward Euler is unconditionally stable, so time steps
+can span the stack's fast (die) and slow (heat sink) time constants.
+
+Use cases: power-on warm-up curves, power-step response (e.g. a DVFS
+transition from Table 5), and verifying that transients decay to the
+steady solution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.thermal.solver import (
+    SolverConfig,
+    ThermalSolution,
+    assemble_system,
+)
+from repro.thermal.stack import ThermalStack
+
+
+@dataclass
+class TransientResult:
+    """A transient run.
+
+    Attributes:
+        times_s: Sample times, seconds.
+        peak_c: Peak on-die temperature at each sample.
+        final: Full field at the last step.
+    """
+
+    times_s: List[float]
+    peak_c: List[float]
+    final: ThermalSolution
+
+    @property
+    def peak_rise(self) -> float:
+        """Total peak-temperature rise over the run, Kelvin."""
+        return self.peak_c[-1] - self.peak_c[0]
+
+    def time_to_fraction(self, fraction: float) -> float:
+        """First sampled time at which the peak reaches *fraction* of its
+        final rise (e.g. 0.63 for one thermal time constant)."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        target = self.peak_c[0] + fraction * self.peak_rise
+        for t, peak in zip(self.times_s, self.peak_c):
+            if peak >= target:
+                return t
+        return self.times_s[-1]
+
+
+def solve_transient(
+    stack: ThermalStack,
+    config: Optional[SolverConfig] = None,
+    duration_s: float = 10.0,
+    dt_s: float = 0.05,
+    initial: Optional[np.ndarray] = None,
+    power_schedule: Optional[Callable[[float], float]] = None,
+) -> TransientResult:
+    """Integrate the stack's temperature field over time.
+
+    Args:
+        stack: Configuration to solve.
+        config: Discretization parameters.
+        duration_s: Simulated time span.
+        dt_s: Backward-Euler step.
+        initial: Starting field (flat or shaped); defaults to uniform
+            ambient (a cold power-on).
+        power_schedule: Optional multiplier on the dissipated power as a
+            function of time (e.g. ``lambda t: 0.66 if t > 5 else 1.0``
+            for a DVFS step); boundary (ambient) terms are unaffected.
+
+    Returns:
+        A :class:`TransientResult` sampled at every step.
+    """
+    if duration_s <= 0 or dt_s <= 0:
+        raise ValueError("duration and time step must be positive")
+    system = assemble_system(stack, config)
+    ambient = system.config.ambient_c
+
+    n = system.matrix.shape[0]
+    mass_over_dt = sp.diags(system.mass / dt_s)
+    lhs = (system.matrix + mass_over_dt).tocsc()
+    lu = spla.splu(lhs, permc_spec="MMD_AT_PLUS_A")
+
+    # Split the rhs into power injection and ambient boundary terms so a
+    # power schedule can scale only the former.  The boundary part is the
+    # assembled rhs minus the injected power.
+    power_part = np.zeros(n)
+    total_power = stack.total_power
+    if total_power > 0:
+        # Reassemble the injected power per cell (everything in rhs that
+        # is not a boundary ambient term).  Boundary terms live only on
+        # the first and last planes; power only in powered layers —
+        # separate by rebuilding the boundary vector.
+        zero_power_stack = _stack_without_power(stack)
+        boundary_rhs = assemble_system(zero_power_stack, system.config).rhs
+        power_part = system.rhs - boundary_rhs
+    else:
+        boundary_rhs = system.rhs
+
+    if initial is None:
+        temperature = np.full(n, ambient)
+    else:
+        temperature = np.asarray(initial, dtype=float).reshape(n).copy()
+
+    times: List[float] = [0.0]
+    peaks: List[float] = [
+        float(system.solution_from(temperature).peak_temperature())
+    ]
+    steps = int(round(duration_s / dt_s))
+    for step in range(1, steps + 1):
+        t_now = step * dt_s
+        factor = power_schedule(t_now) if power_schedule else 1.0
+        if factor < 0:
+            raise ValueError("power schedule must be non-negative")
+        rhs = boundary_rhs + factor * power_part + (system.mass / dt_s) * temperature
+        temperature = lu.solve(rhs)
+        times.append(t_now)
+        peaks.append(
+            float(system.solution_from(temperature).peak_temperature())
+        )
+    return TransientResult(
+        times_s=times,
+        peak_c=peaks,
+        final=system.solution_from(temperature),
+    )
+
+
+def _stack_without_power(stack: ThermalStack) -> ThermalStack:
+    """A copy of *stack* with all power plans removed."""
+    import dataclasses
+
+    layers = [
+        dataclasses.replace(layer, power_plan=None) for layer in stack.layers
+    ]
+    return ThermalStack(
+        f"{stack.name} (unpowered)",
+        stack.die_width_m,
+        stack.die_height_m,
+        layers,
+        stack.domain_size_m,
+    )

@@ -1,0 +1,53 @@
+"""Register-level dependency tracking for trace generation.
+
+The paper's trace generator "runs alongside the full system simulator and
+keeps track of dependencies between instructions", emitting for each memory
+reference the uid of an earlier reference it depends on.  The canonical
+case given in Section 2.1 is a pointer-chase: load Ld2 whose address is
+produced by an earlier load Ld1 may not issue until Ld1 completes.
+
+:class:`DependencyTracker` models the architectural register file during
+synthetic kernel generation: a load writes a destination register; any
+later access whose *address computation* reads that register records a
+dependency on the load's uid.  Stores produce no register values, so
+nothing depends on a store (store-to-load forwarding through memory is
+below the granularity the paper's replay model honors).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.traces.record import NO_DEP
+
+
+class DependencyTracker:
+    """Tracks which trace record last produced each register's value.
+
+    One tracker per simulated cpu/thread.  Kernel generators use symbolic
+    register names (e.g. ``"row_ptr"``, ``"col_idx"``) for clarity.
+    """
+
+    def __init__(self) -> None:
+        self._producer: Dict[str, int] = {}
+
+    def produce(self, register: str, uid: int) -> None:
+        """Record that *uid* (a load) wrote *register*."""
+        if uid < 0:
+            raise ValueError(f"uid must be non-negative, got {uid}")
+        self._producer[register] = uid
+
+    def dependency_on(self, register: Optional[str]) -> int:
+        """Uid of the record that must complete before an access reading
+        *register* for its address may issue, or ``NO_DEP``."""
+        if register is None:
+            return NO_DEP
+        return self._producer.get(register, NO_DEP)
+
+    def clear(self, register: str) -> None:
+        """Forget a register (e.g. it was overwritten by an ALU result)."""
+        self._producer.pop(register, None)
+
+    def reset(self) -> None:
+        """Forget all register state (e.g. at a kernel phase boundary)."""
+        self._producer.clear()

@@ -1,0 +1,158 @@
+"""Two-thread SMP trace generation: kernels -> dependency-annotated records.
+
+Mirrors the paper's trace-generation flow (Section 2.1): the workload runs
+on a two-processor SMP (here: two kernel generator instances partitioning
+the shared data), and the trace generator emits one record per memory
+instruction, annotated with the uid of the earlier record it depends on.
+Records from the two cpus are interleaved the way a free-running SMP would
+interleave them (round-robin with small random jitter), and uids increase
+monotonically over the merged stream.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.traces.deps import DependencyTracker
+from repro.traces.kernels.base import KernelParams
+from repro.traces.kernels.registry import default_params, get_kernel
+from repro.traces.record import AccessType, NO_DEP, TraceRecord
+
+#: Synthetic code region for instruction pointers, one page per kernel site.
+_IP_BASE = 0x0040_0000
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A fully-specified trace-generation request.
+
+    Attributes:
+        name: RMS kernel name (see Table 1 / the kernel registry).
+        n_records: Total records in the merged trace.
+        n_threads: Number of SMP cpus (the paper uses 2).
+        params: Kernel sizing; defaults to the registry footprint.
+        seed: RNG seed — traces are deterministic given a spec.
+        ifetch_every: If > 0, interleave one instruction-fetch record
+            (at the current kernel site's instruction pointer) every N
+            data references per cpu, exercising the L1I path of
+            Figure 4.  RMS kernels are small loops, so these fetches are
+            L1I-resident almost always.
+    """
+
+    name: str
+    n_records: int = 100_000
+    n_threads: int = 2
+    params: Optional[KernelParams] = None
+    seed: int = 1234
+    ifetch_every: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_records <= 0:
+            raise ValueError("n_records must be positive")
+        if self.n_threads < 1:
+            raise ValueError("n_threads must be >= 1")
+
+    def resolved_params(self, scale: int = 1) -> KernelParams:
+        """The kernel params to use (default footprint unless overridden)."""
+        if self.params is not None:
+            return self.params
+        return default_params(self.name, scale=scale)
+
+
+class TraceGenerator:
+    """Generates a merged, dependency-annotated trace for one workload."""
+
+    def __init__(self, spec: WorkloadSpec, scale: int = 1) -> None:
+        self.spec = spec
+        self.scale = scale
+        self._entry = get_kernel(spec.name)
+
+    def records(self) -> Iterator[TraceRecord]:
+        """Stream the merged trace, truncated at ``spec.n_records``."""
+        spec = self.spec
+        params = spec.resolved_params(self.scale)
+        master_rng = random.Random(spec.seed)
+        threads: List[Iterator] = []
+        trackers: List[DependencyTracker] = []
+        for cpu in range(spec.n_threads):
+            rng = random.Random(spec.seed + 1000 * (cpu + 1))
+            threads.append(
+                iter(self._entry.fn(cpu, spec.n_threads, params, rng))
+            )
+            trackers.append(DependencyTracker())
+
+        uid = 0
+        live = list(range(spec.n_threads))
+        while uid < spec.n_records and live:
+            for cpu in list(live):
+                # Small random burst per turn: SMP interleaving is not
+                # perfectly alternating.
+                burst = master_rng.randint(1, 4)
+                for _ in range(burst):
+                    if uid >= spec.n_records:
+                        return
+                    try:
+                        kind, address, site, read_reg, write_reg = next(
+                            threads[cpu]
+                        )
+                    except StopIteration:
+                        live.remove(cpu)
+                        break
+                    tracker = trackers[cpu]
+                    ip = _IP_BASE + site * 4
+                    if (
+                        spec.ifetch_every > 0
+                        and uid % spec.ifetch_every == spec.ifetch_every - 1
+                        and uid < spec.n_records - 1
+                    ):
+                        # Fetch the instruction line feeding this site.
+                        yield TraceRecord(
+                            uid=uid,
+                            cpu=cpu,
+                            kind=AccessType.IFETCH,
+                            address=ip,
+                            ip=ip,
+                            dep_uid=NO_DEP,
+                        )
+                        uid += 1
+                    dep = tracker.dependency_on(read_reg)
+                    record = TraceRecord(
+                        uid=uid,
+                        cpu=cpu,
+                        kind=AccessType(kind),
+                        address=address,
+                        ip=ip,
+                        dep_uid=dep if dep != NO_DEP else NO_DEP,
+                    )
+                    if write_reg is not None and kind == 0:
+                        tracker.produce(write_reg, uid)
+                    yield record
+                    uid += 1
+
+
+def generate_trace(
+    name: str,
+    n_records: int = 100_000,
+    n_threads: int = 2,
+    scale: int = 1,
+    seed: int = 1234,
+    params: Optional[KernelParams] = None,
+) -> List[TraceRecord]:
+    """Generate a complete trace as a list (convenience wrapper)."""
+    spec = WorkloadSpec(
+        name=name,
+        n_records=n_records,
+        n_threads=n_threads,
+        seed=seed,
+        params=params,
+    )
+    return list(TraceGenerator(spec, scale=scale).records())
+
+
+def rms_workloads() -> Dict[str, str]:
+    """Table 1: workload name -> description."""
+    from repro.traces.kernels.registry import KERNELS
+
+    return {name: entry.description for name, entry in KERNELS.items()}

@@ -1,0 +1,26 @@
+"""Synthetic kernel generators for the twelve RMS workloads of Table 1.
+
+Each kernel is a generator function that walks the data structures of its
+algorithm and yields raw accesses; see :mod:`repro.traces.kernels.base`
+for the access tuple format and the shared data-region helpers.
+"""
+
+from repro.traces.kernels.base import (
+    Access,
+    KernelParams,
+    Region,
+    private_base,
+    SHARED_BASE,
+)
+from repro.traces.kernels.registry import KERNELS, kernel_names, get_kernel
+
+__all__ = [
+    "Access",
+    "KernelParams",
+    "Region",
+    "private_base",
+    "SHARED_BASE",
+    "KERNELS",
+    "kernel_names",
+    "get_kernel",
+]

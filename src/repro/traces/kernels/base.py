@@ -1,0 +1,119 @@
+"""Shared infrastructure for synthetic RMS kernel generators.
+
+A kernel generator is a Python generator function with the signature::
+
+    def kernel(cpu, nthreads, params, rng) -> Iterator[Access]
+
+yielding an endless stream of :data:`Access` tuples
+``(kind, address, site, read_reg, write_reg)``:
+
+* ``kind`` — 0 for load, 1 for store (values of
+  :class:`repro.traces.record.AccessType`).
+* ``address`` — byte address.
+* ``site`` — small integer identifying the static instruction within the
+  kernel; the trace generator maps it to a synthetic instruction pointer.
+* ``read_reg`` — symbolic register read for *address computation* (a
+  dependency on whichever earlier load produced it), or None.
+* ``write_reg`` — symbolic register this load writes, or None.
+
+Kernels are infinite (they iterate their algorithm's outer loop forever);
+the SMP interleaver truncates the merged stream at the requested record
+count, mirroring the paper's fixed-length (1-billion-reference) traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+#: kind, address, site, read_reg, write_reg
+Access = Tuple[int, int, int, Optional[str], Optional[str]]
+
+LOAD = 0
+STORE = 1
+
+#: Base of the address region shared by all threads (matrices, models).
+SHARED_BASE = 0x1000_0000
+
+#: Spacing between per-thread private regions.
+_PRIVATE_STRIDE = 0x1000_0000
+_PRIVATE_BASE = 0x8000_0000
+
+
+def private_base(cpu: int) -> int:
+    """Base address of a cpu's private data region (vectors, temporaries)."""
+    if cpu < 0:
+        raise ValueError(f"cpu must be non-negative, got {cpu}")
+    return _PRIVATE_BASE + cpu * _PRIVATE_STRIDE
+
+
+@dataclass(frozen=True)
+class KernelParams:
+    """Sizing parameters for a kernel generator.
+
+    Attributes:
+        footprint_bytes: Target size of the kernel's primary shared data
+            structure.  Each workload's default footprint determines where
+            it lands on Figure 5's capacity axis (whether it fits in 4 MB,
+            benefits at 12/32 MB, etc.).
+        element_bytes: Size of one data element (8 for doubles).
+        scale: Divisor applied to footprints by the experiment harness so
+            scaled-down runs preserve the footprint/capacity ratios of the
+            paper (see DESIGN.md).
+    """
+
+    footprint_bytes: int
+    element_bytes: int = 8
+    scale: int = 1
+
+    def __post_init__(self) -> None:
+        if self.footprint_bytes <= 0:
+            raise ValueError("footprint_bytes must be positive")
+        if self.scale < 1:
+            raise ValueError("scale must be >= 1")
+
+    @property
+    def effective_footprint(self) -> int:
+        """Footprint after scaling, bytes."""
+        return max(4096, self.footprint_bytes // self.scale)
+
+    def elements(self, fraction: float = 1.0) -> int:
+        """Number of elements filling *fraction* of the effective footprint."""
+        count = int(self.effective_footprint * fraction) // self.element_bytes
+        return max(16, count)
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous array of fixed-size elements in the traced address space."""
+
+    base: int
+    element_bytes: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count <= 0 or self.element_bytes <= 0:
+            raise ValueError("region must have positive size")
+
+    def addr(self, index: int) -> int:
+        """Byte address of element *index* (wrapping around the region)."""
+        return self.base + (index % self.count) * self.element_bytes
+
+    @property
+    def size_bytes(self) -> int:
+        return self.count * self.element_bytes
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size_bytes
+
+
+def carve(base: int, element_bytes: int, count: int) -> Tuple[Region, int]:
+    """Allocate a region at *base*; returns (region, next_free_base).
+
+    The next base is rounded up to a 4 KB boundary so regions never share
+    an OS page (keeps DRAM page behaviour of distinct structures distinct).
+    """
+    region = Region(base, element_bytes, count)
+    next_base = (region.end + 0xFFF) & ~0xFFF
+    return region, next_base

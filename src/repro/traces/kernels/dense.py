@@ -1,0 +1,139 @@
+"""Dense linear-algebra RMS kernels: dSym, gauss, svd.
+
+* ``dsym`` — blocked dense matrix multiplication.  Its cache-blocked
+  working set (three tiles) fits the baseline 4 MB cache, so its CPMA is
+  flat across stacked-cache capacities even though the total matrices are
+  large (the blocking captures the reuse).
+* ``gauss`` — Gauss-Jordan elimination over a matrix far larger than the
+  baseline cache.  Every pivot step re-streams the remaining matrix, so a
+  stacked cache that holds the whole matrix converts the re-streams into
+  hits: one of Figure 5's big winners.
+* ``svd`` — one-sided Jacobi singular value decomposition over a small
+  matrix: repeated column-pair rotations, cache-resident.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.traces.kernels.base import (
+    Access,
+    KernelParams,
+    LOAD,
+    STORE,
+    SHARED_BASE,
+    carve,
+    private_base,
+)
+
+
+def dsym(
+    cpu: int, nthreads: int, params: KernelParams, rng: random.Random
+) -> Iterator[Access]:
+    """Dense Matrix Multiplication ("dSYM", Table 1), cache-blocked.
+
+    C = A*B with square tiles; a thread owns alternating tile-rows of C.
+    Within a tile-triple the same A and B tiles are re-walked once per
+    inner row, producing the heavy short-range reuse of blocked GEMM.
+    """
+    # Micro-kernel tiles are L1-resident (32x32 doubles = 8 KB); the
+    # footprint parameter sizes the *full matrices* the tiles stream from.
+    tile_dim = 32
+    matrix_elems = params.elements()
+    n_tiles = max(2, int((matrix_elems // (tile_dim * tile_dim)) ** 0.5))
+    base = SHARED_BASE
+    a, base = carve(base, 8, tile_dim * tile_dim * n_tiles * n_tiles)
+    b, base = carve(base, 8, tile_dim * tile_dim * n_tiles * n_tiles)
+    c, _ = carve(private_base(cpu), 8, tile_dim * tile_dim * n_tiles)
+
+    def tile_addr(region, ti: int, tj: int, i: int, j: int) -> int:
+        tile_base = (ti * n_tiles + tj) * tile_dim * tile_dim
+        return region.addr(tile_base + i * tile_dim + j)
+
+    while True:
+        for bi in range(n_tiles):
+            if bi % nthreads != cpu:
+                continue
+            for bj in range(n_tiles):
+                for bk in range(n_tiles):
+                    # Multiply tile A[bi,bk] by tile B[bk,bj] into C[bi,bj].
+                    # The B tile is re-walked for every i — the blocked
+                    # reuse (captured by the L1) that keeps dSYM's CPMA
+                    # flat across stacked-cache capacities.
+                    for i in range(tile_dim):
+                        for k in range(tile_dim):
+                            yield (LOAD, tile_addr(a, bi, bk, i, k), 0, None, None)
+                            yield (LOAD, tile_addr(b, bk, bj, k, (i + k) % tile_dim), 1, None, None)
+                        yield (LOAD, tile_addr(c, 0, bj, i, i), 2, None, None)
+                        yield (STORE, tile_addr(c, 0, bj, i, i), 3, None, None)
+
+
+def gauss(
+    cpu: int, nthreads: int, params: KernelParams, rng: random.Random
+) -> Iterator[Access]:
+    """Linear Equation Solver using Gauss-Jordan Elimination ("gauss").
+
+    Pivot step k: the pivot row is loaded (and stays hot), then every
+    other row is streamed — load row element, load the multiplier column
+    element, store the updated row element.  The full matrix is re-touched
+    every step, so capacity beyond the matrix size converts the streaming
+    into hits.
+    """
+    n_elems = params.elements()
+    dim = max(8, int(n_elems ** 0.5))
+    mat, _ = carve(SHARED_BASE, 8, dim * dim)
+
+    def elem(r: int, col: int) -> int:
+        return mat.addr(r * dim + col)
+
+    k = 0
+    while True:
+        pivot = k % dim
+        # Load the pivot row once (it stays cached during the step).
+        for j in range(dim):
+            yield (LOAD, elem(pivot, j), 0, None, None)
+        for row in range(dim):
+            if row == pivot or row % nthreads != cpu:
+                continue
+            yield (LOAD, elem(row, pivot), 1, None, "mult")
+            for j in range(dim):
+                yield (LOAD, elem(row, j), 2, None, None)
+                yield (LOAD, elem(pivot, j), 3, None, None)
+                yield (STORE, elem(row, j), 4, "mult", None)
+        k += 1
+
+
+def svd(
+    cpu: int, nthreads: int, params: KernelParams, rng: random.Random
+) -> Iterator[Access]:
+    """Singular Value Decomposition with the Jacobi method ("Svd").
+
+    One-sided Jacobi: sweep over column pairs (i, j); each rotation
+    streams both columns twice (dot products, then the rotation update).
+    The matrix is small and cache-resident.
+    """
+    n_elems = params.elements()
+    dim = max(8, int(n_elems ** 0.5))
+    mat, _ = carve(SHARED_BASE, 8, dim * dim)
+
+    def col_elem(col: int, r: int) -> int:
+        # Column-major storage: one-sided Jacobi walks whole columns, so
+        # the matrix is laid out to make those walks sequential.
+        return mat.addr(col * dim + r)
+
+    while True:
+        for i in range(dim - 1):
+            if i % nthreads != cpu:
+                continue
+            for j in range(i + 1, dim):
+                # Dot products a_i . a_j, a_i . a_i, a_j . a_j.
+                for r in range(dim):
+                    yield (LOAD, col_elem(i, r), 0, None, None)
+                    yield (LOAD, col_elem(j, r), 1, None, None)
+                # Apply the rotation to both columns.
+                for r in range(dim):
+                    yield (LOAD, col_elem(i, r), 2, None, None)
+                    yield (LOAD, col_elem(j, r), 3, None, None)
+                    yield (STORE, col_elem(i, r), 4, None, None)
+                    yield (STORE, col_elem(j, r), 5, None, None)

@@ -1,0 +1,98 @@
+"""Structural-rigidity RMS kernels: sAVDF, sAVIF, sUS (Table 1).
+
+The three workloads are the same finite-element structural-rigidity
+computation with different element kernels (AVDF, AVIF, US).  Each pass
+walks the element list; per element it gathers the coordinates of its
+nodes through the connectivity array (an indirect, dependency-carrying
+access), performs the element-kernel arithmetic, and scatters the result
+into the global stiffness structure.
+
+The variants differ in mesh footprint and in how many nodes each element
+kernel touches, which is what differentiates their Figure 5 behaviour:
+AVDF and AVIF fit the baseline cache; US has a mesh large enough to
+benefit from the stacked capacities.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.traces.kernels.base import (
+    Access,
+    KernelParams,
+    LOAD,
+    STORE,
+    SHARED_BASE,
+    carve,
+    private_base,
+)
+
+
+def _rigidity(
+    cpu: int,
+    nthreads: int,
+    params: KernelParams,
+    rng: random.Random,
+    nodes_per_element: int,
+) -> Iterator[Access]:
+    """Common element-assembly loop shared by the three kernels."""
+    # Footprint split: half to node data, a quarter each to connectivity
+    # and the global stiffness structure.
+    n_nodes = params.elements(0.5)
+    n_elements = max(16, n_nodes // nodes_per_element)
+    base = SHARED_BASE
+    node_xyz, base = carve(base, 8, n_nodes)
+    connect, base = carve(base, 4, n_elements * nodes_per_element)
+    stiff, base = carve(base, 8, max(16, params.elements(0.25)))
+    scratch, _ = carve(private_base(cpu), 8, 64)
+
+    while True:
+        for element in range(n_elements):
+            if element % nthreads != cpu:
+                continue
+            # Real meshes are bandwidth-ordered: an element's nodes are
+            # numbered close together, so the coordinate gathers cluster
+            # around the element's own position in the node array.
+            centre = (element * nodes_per_element) % n_nodes
+            for n in range(nodes_per_element):
+                idx = element * nodes_per_element + n
+                yield (LOAD, connect.addr(idx), 0, None, "node_id")
+                # Coordinate gather depends on the connectivity load.
+                node = max(0, min(n_nodes - 1, centre + rng.randint(-32, 32)))
+                yield (LOAD, node_xyz.addr(node), 1, "node_id", None)
+            # Element-kernel arithmetic working set (registers + scratch).
+            for s in range(4):
+                yield (LOAD, scratch.addr(s), 2, None, None)
+            # Scatter the element contribution into the global structure,
+            # near the element's own rows (banded assembled system).
+            centre_s = (element * nodes_per_element) % stiff.count
+            target = max(0, min(stiff.count - 1, centre_s + rng.randint(-32, 32)))
+            yield (LOAD, stiff.addr(target), 3, "node_id", None)
+            yield (STORE, stiff.addr(target), 4, "node_id", None)
+
+
+def savdf(
+    cpu: int, nthreads: int, params: KernelParams, rng: random.Random
+) -> Iterator[Access]:
+    """Structural Rigidity Computation with the AVDF kernel ("sAVDF")."""
+    return _rigidity(cpu, nthreads, params, rng, nodes_per_element=4)
+
+
+def savif(
+    cpu: int, nthreads: int, params: KernelParams, rng: random.Random
+) -> Iterator[Access]:
+    """Structural Rigidity Computation with the AVIF kernel ("sAVIF")."""
+    return _rigidity(cpu, nthreads, params, rng, nodes_per_element=8)
+
+
+def sus(
+    cpu: int, nthreads: int, params: KernelParams, rng: random.Random
+) -> Iterator[Access]:
+    """Structural Rigidity Computation with the US kernel ("sUS").
+
+    Same assembly structure, but the US variant's mesh footprint is set
+    large (see the registry defaults), so the node-coordinate gathers miss
+    the baseline cache and the workload gains from stacked capacity.
+    """
+    return _rigidity(cpu, nthreads, params, rng, nodes_per_element=6)

@@ -1,0 +1,257 @@
+"""Sparse linear-algebra RMS kernels: conj, pcg, sMVM, sSym, sTrans.
+
+All five workloads walk synthetic CSR (compressed sparse row) matrices.
+The distinguishing features are footprint and access pattern:
+
+* ``conj`` — conjugate-gradient solver on a solids matrix small enough to
+  fit the baseline 4 MB cache (flat CPMA in Figure 5).
+* ``pcg`` — preconditioned CG with a red-black-reordered triangular solve
+  (long dependent-load chains) over a ~18 MB footprint.
+* ``smvm`` — plain sparse matrix-vector multiply streaming a ~20 MB matrix
+  with random gathers into the source vector.
+* ``ssym`` — symmetric sparse multiply storing only one triangle (~3 MB,
+  fits the baseline cache).
+* ``strans`` — transposed sparse multiply: streamed matrix with scattered
+  read-modify-write updates of the destination vector (~24 MB).
+
+Each kernel partitions rows between the two threads in contiguous chunks
+(shared matrix, private vectors), as a data-parallel OpenMP-style RMS code
+would.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.traces.kernels.base import (
+    Access,
+    KernelParams,
+    LOAD,
+    STORE,
+    SHARED_BASE,
+    carve,
+    private_base,
+)
+
+#: Non-zero entries per matrix row in the synthetic CSR structures.
+NNZ_PER_ROW = 8
+
+#: Rows handed to a thread at a time (OpenMP-style chunked partitioning).
+ROW_CHUNK = 16
+
+
+def _csr_layout(params: KernelParams, value_fraction: float = 0.7):
+    """Carve the shared CSR arrays (values, column indices, row pointers).
+
+    *value_fraction* of the footprint goes to the 8-byte values; column
+    indices are 4-byte and row pointers 4-byte.
+    """
+    nnz = max(NNZ_PER_ROW, params.elements(value_fraction))
+    rows = max(2, nnz // NNZ_PER_ROW)
+    base = SHARED_BASE
+    vals, base = carve(base, 8, nnz)
+    cols, base = carve(base, 4, nnz)
+    rowp, base = carve(base, 4, rows + 1)
+    return vals, cols, rowp, rows, base
+
+
+def _spmv_rows(
+    cpu: int,
+    nthreads: int,
+    rng: random.Random,
+    vals,
+    cols,
+    rowp,
+    x,
+    y,
+    rows: int,
+    site_base: int,
+    band: int = 0,
+) -> Iterator[Access]:
+    """One y = A*x pass over this thread's share of the rows.
+
+    The dependent-load chain per element is the one Section 2.1
+    describes: the column-index load produces the address of the x-vector
+    gather, which therefore depends on it.
+
+    Args:
+        band: If non-zero, the matrix is banded (typical of assembled FEM
+            systems): gathers land within +-band rows of the diagonal, so
+            they have strong temporal locality.  If zero, columns are
+            spread over the whole vector (unstructured sparsity).
+    """
+    for row in range(rows):
+        if (row // ROW_CHUNK) % nthreads != cpu:
+            continue
+        yield (LOAD, rowp.addr(row), site_base, None, "rowp")
+        for k in range(NNZ_PER_ROW):
+            j = row * NNZ_PER_ROW + k
+            yield (LOAD, cols.addr(j), site_base + 1, "rowp", "col")
+            yield (LOAD, vals.addr(j), site_base + 2, "rowp", None)
+            if band:
+                gather = max(0, min(rows - 1, row + rng.randint(-band, band)))
+            else:
+                # Unstructured sparsity: spread over the whole vector but
+                # with the mild clustering of real matrices (a random
+                # cluster of columns per row).
+                gather = (row * 97 + rng.randrange(4096)) % x.count
+            yield (LOAD, x.addr(gather), site_base + 3, "col", "xval")
+        yield (STORE, y.addr(row), site_base + 4, None, None)
+
+
+def _vector_axpy(
+    cpu: int, x, y, n: int, site_base: int
+) -> Iterator[Access]:
+    """y += a*x over a private vector pair (streaming, no dependencies).
+
+    """
+    for i in range(n):
+        yield (LOAD, x.addr(i), site_base, None, None)
+        yield (LOAD, y.addr(i), site_base + 1, None, None)
+        yield (STORE, y.addr(i), site_base + 2, None, None)
+
+
+def conj(
+    cpu: int, nthreads: int, params: KernelParams, rng: random.Random
+) -> Iterator[Access]:
+    """Conjugate Gradient Solver on solids ("Conj Solids", Table 1).
+
+    Per iteration: one SpMV over the (small) solids matrix plus the CG
+    vector updates (two axpy passes and a dot product).
+    """
+    vals, cols, rowp, rows, _ = _csr_layout(params)
+    pbase = private_base(cpu)
+    x, pbase = carve(pbase, 8, rows)
+    y, pbase = carve(pbase, 8, rows)
+    r, pbase = carve(pbase, 8, rows)
+    p, pbase = carve(pbase, 8, rows)
+    while True:
+        # Solids matrices are assembled FEM systems: banded, so the
+        # x-vector gathers stay near the diagonal (strong locality).
+        yield from _spmv_rows(cpu, nthreads, rng, vals, cols, rowp, p, y,
+                              rows, 0, band=64)
+        n = rows // nthreads
+        yield from _vector_axpy(cpu, y, r, n, 8)
+        yield from _vector_axpy(cpu, r, p, n, 12)
+
+
+def pcg(
+    cpu: int, nthreads: int, params: KernelParams, rng: random.Random
+) -> Iterator[Access]:
+    """Preconditioned CG with Cholesky preconditioner and red-black
+    reordering ("pcg", Table 1).
+
+    The triangular preconditioner solve is modeled as two half-sweeps
+    (red rows then black rows); within a sweep each row's update gathers
+    previously-solved neighbour values through an index load, giving the
+    long dependent chains characteristic of triangular solves.
+    """
+    vals, cols, rowp, rows, _ = _csr_layout(params)
+    pbase = private_base(cpu)
+    x, pbase = carve(pbase, 8, rows)
+    y, pbase = carve(pbase, 8, rows)
+    z, pbase = carve(pbase, 8, rows)
+    while True:
+        # SpMV with the full matrix.
+        yield from _spmv_rows(cpu, nthreads, rng, vals, cols, rowp, x, y, rows, 0)
+        # Red-black preconditioner: two dependent half-sweeps.
+        for colour in (0, 1):
+            for row in range(colour, rows, 2):
+                if (row // ROW_CHUNK) % nthreads != cpu:
+                    continue
+                yield (LOAD, rowp.addr(row), 8, None, "rowp")
+                for k in range(NNZ_PER_ROW // 2):
+                    j = row * NNZ_PER_ROW + k
+                    yield (LOAD, cols.addr(j), 9, "rowp", "col")
+                    # Red-black neighbours of row are nearby rows (the
+                    # reordering keeps the band structure).
+                    neighbour = max(0, min(rows - 1,
+                                           row + rng.randint(-512, 512)))
+                    # The gather depends on the column index AND the value
+                    # it reads was produced earlier in the sweep: a true
+                    # serial chain, so make the loaded value feed the next
+                    # address through "zval".
+                    yield (LOAD, z.addr(neighbour), 10, "col", "zval")
+                yield (STORE, z.addr(row), 11, "zval", None)
+
+
+def smvm(
+    cpu: int, nthreads: int, params: KernelParams, rng: random.Random
+) -> Iterator[Access]:
+    """Sparse Matrix Multiplication ("sMvm", Table 1): repeated y = A*x."""
+    vals, cols, rowp, rows, _ = _csr_layout(params)
+    pbase = private_base(cpu)
+    # Shared source vector (both threads gather from it).
+    x, _ = carve(SHARED_BASE + 0x4000_0000, 8, rows)
+    y, pbase = carve(pbase, 8, rows)
+    while True:
+        # Real unstructured matrices still have strong column clustering
+        # after bandwidth-reducing reordering; the gather window is far
+        # larger than the L1 but page-local.
+        yield from _spmv_rows(cpu, nthreads, rng, vals, cols, rowp, x, y,
+                              rows, 0, band=4096)
+
+
+def ssym(
+    cpu: int, nthreads: int, params: KernelParams, rng: random.Random
+) -> Iterator[Access]:
+    """Symmetrical Sparse Matrix Multiplication ("sSym", Table 1).
+
+    Stores one triangle only (half the values), so each element updates
+    both y[row] and y[col]; the footprint fits the baseline cache.
+    """
+    vals, cols, rowp, rows, _ = _csr_layout(params)
+    pbase = private_base(cpu)
+    x, pbase = carve(pbase, 8, rows)
+    y, pbase = carve(pbase, 8, rows)
+    while True:
+        for row in range(rows):
+            if (row // ROW_CHUNK) % nthreads != cpu:
+                continue
+            yield (LOAD, rowp.addr(row), 0, None, "rowp")
+            for k in range(NNZ_PER_ROW // 2):
+                j = row * (NNZ_PER_ROW // 2) + k
+                yield (LOAD, cols.addr(j), 1, "rowp", "col")
+                yield (LOAD, vals.addr(j), 2, "rowp", None)
+                # The stored triangle of an assembled symmetric system is
+                # banded: gathers and the symmetric scatter stay near the
+                # diagonal.
+                gather = max(0, min(rows - 1, row + rng.randint(-64, 64)))
+                yield (LOAD, x.addr(gather), 3, "col", None)
+                # Symmetric update: scatter into y[col] as well as y[row].
+                yield (LOAD, y.addr(gather), 4, "col", None)
+                yield (STORE, y.addr(gather), 5, "col", None)
+            yield (STORE, y.addr(row), 6, None, None)
+
+
+def strans(
+    cpu: int, nthreads: int, params: KernelParams, rng: random.Random
+) -> Iterator[Access]:
+    """Transposed Sparse Matrix Multiplication ("sTrans", Table 1).
+
+    y[col] += val * x[row]: the matrix streams through, but every element
+    performs a dependent read-modify-write scatter into the destination
+    vector.
+    """
+    vals, cols, rowp, rows, _ = _csr_layout(params)
+    pbase = private_base(cpu)
+    x, pbase = carve(pbase, 8, rows)
+    y, pbase = carve(pbase, 8, rows)
+    while True:
+        for row in range(rows):
+            if (row // ROW_CHUNK) % nthreads != cpu:
+                continue
+            yield (LOAD, rowp.addr(row), 0, None, "rowp")
+            yield (LOAD, x.addr(row), 1, None, None)
+            for k in range(NNZ_PER_ROW):
+                j = row * NNZ_PER_ROW + k
+                yield (LOAD, cols.addr(j), 2, "rowp", "col")
+                yield (LOAD, vals.addr(j), 3, "rowp", None)
+                # A transposed banded matrix scatters near the diagonal;
+                # the window is far larger than the L1 but page-local in
+                # the DRAM sense.
+                scatter = max(0, min(rows - 1,
+                                     row + rng.randint(-2048, 2048)))
+                yield (LOAD, y.addr(scatter), 4, "col", "yval")
+                yield (STORE, y.addr(scatter), 5, "yval", None)

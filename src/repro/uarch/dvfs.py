@@ -1,0 +1,187 @@
+"""Voltage/frequency scaling of the Logic+Logic 3D floorplan (Table 5).
+
+Table 5's conversion equations, used verbatim:
+
+* **Perf vs. Freq** — "0.82% performance for 1% frequency": performance
+  percentage points move by 0.82 per point of frequency, on top of the
+  3D floorplan's +15% at constant frequency.  (Performance and frequency
+  do not scale 1:1 mainly because main-memory latency is fixed in
+  nanoseconds.)
+* **Freq vs. Vcc** — "1% for 1% in Vcc": frequency tracks voltage 1:1
+  over the voltage range of interest.
+* **Power** — dynamic power scales as V^2 * f; with f = V that is V^3.
+
+The published operating points: Baseline (planar, 147 W), Same Pwr
+(f = 1.18), Same Freq (125 W), Same Temp (Vcc 0.92 -> 66% power, 108%
+perf), Same Perf (Vcc 0.82 -> 46% power).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+#: Performance percentage points per frequency percentage point (Table 5).
+PERF_PER_FREQ = 0.82
+
+#: The 3D floorplan's performance gain at constant frequency, percent.
+BASE_3D_PERF_GAIN = 15.0
+
+#: The 3D floorplan's power at constant frequency relative to planar.
+BASE_3D_POWER_FACTOR = 0.85
+
+#: Planar total power, watts (Table 5 baseline row).
+PLANAR_POWER_W = 147.0
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One row of Table 5.
+
+    Attributes:
+        name: Row label (e.g. ``"Same Temp"``).
+        vcc: Supply relative to nominal.
+        freq: Frequency relative to nominal.
+        power_w: Total power, watts.
+        power_pct: Power relative to the planar baseline, percent.
+        perf_pct: Performance relative to the planar baseline, percent.
+        temp_c: Peak temperature, Celsius (None if no thermal model was
+            supplied).
+    """
+
+    name: str
+    vcc: float
+    freq: float
+    power_w: float
+    power_pct: float
+    perf_pct: float
+    temp_c: Optional[float] = None
+
+
+def power_3d_w(vcc: float, freq: float) -> float:
+    """3D-floorplan power at a (vcc, freq) point, watts: P = P3D * V^2 * f."""
+    if vcc <= 0 or freq <= 0:
+        raise ValueError("vcc and freq must be positive")
+    return PLANAR_POWER_W * BASE_3D_POWER_FACTOR * vcc * vcc * freq
+
+
+def perf_3d_pct(freq: float) -> float:
+    """3D performance at relative frequency *freq*, percent of planar."""
+    if freq <= 0:
+        raise ValueError("freq must be positive")
+    return 100.0 + BASE_3D_PERF_GAIN + (freq - 1.0) * 100.0 * PERF_PER_FREQ
+
+
+def scale_operating_point(
+    name: str,
+    vcc: float,
+    freq: float,
+    thermal: Optional[Callable[[float], float]] = None,
+) -> ScalingPoint:
+    """Build a Table 5 row for an arbitrary (vcc, freq) 3D point."""
+    power = power_3d_w(vcc, freq)
+    return ScalingPoint(
+        name=name,
+        vcc=vcc,
+        freq=freq,
+        power_w=power,
+        power_pct=100.0 * power / PLANAR_POWER_W,
+        perf_pct=perf_3d_pct(freq),
+        temp_c=thermal(power) if thermal else None,
+    )
+
+
+def solve_same_power() -> float:
+    """Frequency at which the 3D design burns the planar 147 W (vcc=1)."""
+    return 1.0 / BASE_3D_POWER_FACTOR
+
+
+def solve_same_perf() -> float:
+    """Frequency at which 3D performance equals the planar baseline."""
+    return 1.0 - BASE_3D_PERF_GAIN / (100.0 * PERF_PER_FREQ)
+
+
+def solve_same_temp(
+    thermal: Callable[[float], float],
+    target_temp: float,
+    lo: float = 0.6,
+    hi: float = 1.2,
+    tol: float = 1e-4,
+) -> float:
+    """Vcc (= freq) at which the 3D design reaches *target_temp*.
+
+    *thermal* maps 3D total power (watts) to peak temperature (Celsius)
+    and must be monotonically increasing (steady-state conduction is).
+    Bisection over [lo, hi].
+    """
+    def temp_at(v: float) -> float:
+        return thermal(power_3d_w(v, v))
+
+    if temp_at(lo) > target_temp or temp_at(hi) < target_temp:
+        raise ValueError(
+            f"target temperature {target_temp} not bracketed in "
+            f"[{lo}, {hi}] Vcc"
+        )
+    while hi - lo > tol:
+        mid = (lo + hi) / 2.0
+        if temp_at(mid) > target_temp:
+            hi = mid
+        else:
+            lo = mid
+    return (lo + hi) / 2.0
+
+
+def table5_points(
+    thermal: Optional[Callable[[float], float]] = None,
+    baseline_temp: Optional[float] = None,
+    solve_temp_point: bool = False,
+) -> List[ScalingPoint]:
+    """All Table 5 rows.
+
+    Args:
+        thermal: Maps 3D power (W) to peak temperature (C); also used for
+            the baseline row with planar power if *baseline_temp* is not
+            given.  Without it, temperatures are left None.
+        baseline_temp: Peak temperature of the planar baseline (the "Same
+            Temp" target).  Defaults to ``thermal``-solved planar power —
+            note the baseline is the *planar* die, so prefer passing the
+            planar solve explicitly.
+        solve_temp_point: If True, find the Same Temp Vcc with the
+            supplied thermal model instead of using the paper's published
+            0.92.
+
+    Returns:
+        Rows in Table 5 order: Baseline, Same Pwr, Same Freq., Same Temp,
+        Same Perf.
+    """
+    rows: List[ScalingPoint] = []
+    base_temp = baseline_temp
+    if base_temp is None and thermal is not None:
+        base_temp = thermal(PLANAR_POWER_W)
+    rows.append(
+        ScalingPoint(
+            name="Baseline",
+            vcc=1.0,
+            freq=1.0,
+            power_w=PLANAR_POWER_W,
+            power_pct=100.0,
+            perf_pct=100.0,
+            temp_c=base_temp,
+        )
+    )
+    rows.append(
+        scale_operating_point("Same Pwr", 1.0, solve_same_power(), thermal)
+    )
+    rows.append(scale_operating_point("Same Freq.", 1.0, 1.0, thermal))
+    if solve_temp_point and thermal is not None and base_temp is not None:
+        vcc_temp = solve_same_temp(thermal, base_temp)
+    else:
+        vcc_temp = 0.92  # the paper's published Same Temp point
+    rows.append(
+        scale_operating_point("Same Temp", vcc_temp, vcc_temp, thermal)
+    )
+    freq_perf = solve_same_perf()
+    rows.append(
+        scale_operating_point("Same Perf.", freq_perf, freq_perf, thermal)
+    )
+    return rows

@@ -1,0 +1,190 @@
+"""Wire-delay model: from floorplan geometry to pipe stages.
+
+Section 4's stage eliminations come from shortened wires: "load data
+only travels to the center of the D$, at which point it is routed to the
+other die to the center of the functional units...  thus eliminating the
+one clock cycle of delay in the load-to-use delay."  This module makes
+that reasoning computable:
+
+* repeated-wire delay per millimetre from a simple RC model (optimally
+  repeated global wire at the studied node);
+* block-to-block path lengths on a planar floorplan (centre-to-centre
+  Manhattan, the worst case crossing both blocks), and on a two-die
+  stack (each die contributes half the traversal, plus the negligible
+  d2d hop);
+* wire *pipe stages* for a path at a given clock — so the planar-vs-3D
+  stage savings of Table 4's wire rows can be derived from the Figures
+  9/10 floorplans instead of asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.stack import D2D_RC_FRACTION
+from repro.floorplan.blocks import Block, Floorplan
+
+#: Delay of an optimally repeated global wire, picoseconds per millimetre.
+#: Latency-critical routes (load-to-use, RF-to-FP) ride the widest
+#: upper-metal layers with aggressive repeatering, the fastest wires the
+#: 90 nm-class process offers.
+REPEATED_WIRE_PS_PER_MM = 27.0
+
+#: Clock period at the 4 GHz operating point, picoseconds.
+CLOCK_PERIOD_PS = 250.0
+
+#: Latency of the die-to-die via hop, picoseconds.  The d2d via RC is
+#: ~1/3 of a full via stack (Section 3), i.e. far below a wire stage.
+D2D_HOP_PS = 25.0 * D2D_RC_FRACTION * 3.0
+
+
+@dataclass(frozen=True)
+class WirePath:
+    """A block-to-block wire path.
+
+    Attributes:
+        length_mm: Total routed length, millimetres.
+        crossings: Die crossings (0 on a planar die).
+    """
+
+    length_mm: float
+    crossings: int = 0
+
+    def delay_ps(self, ps_per_mm: float = REPEATED_WIRE_PS_PER_MM) -> float:
+        """Repeated-wire delay of the path, picoseconds."""
+        return self.length_mm * ps_per_mm + self.crossings * D2D_HOP_PS
+
+    def stages(
+        self,
+        clock_ps: float = CLOCK_PERIOD_PS,
+        ps_per_mm: float = REPEATED_WIRE_PS_PER_MM,
+    ) -> int:
+        """Full wire pipe stages the path costs at the given clock.
+
+        The paper counts only *full* stages ("Only full pipe stages are
+        eliminated in this study"), so the delay is floor-divided.
+        """
+        return int(self.delay_ps(ps_per_mm) // clock_ps)
+
+
+def _centre(block: Block) -> Tuple[float, float]:
+    return block.x + block.width / 2.0, block.y + block.height / 2.0
+
+
+def planar_path(plan: Floorplan, source: str, dest: str) -> WirePath:
+    """Worst-case planar path between two blocks.
+
+    The paper's example: "load data must travel from the far edge of the
+    data cache, across the data cache to the farthest functional unit" —
+    i.e. the worst case traverses both blocks fully plus the
+    centre-to-centre separation.  We model it as the Manhattan distance
+    between the blocks' far corners via their centres: half of each
+    block's semi-perimeter plus the centre-to-centre Manhattan distance.
+    """
+    a = plan.block(source)
+    b = plan.block(dest)
+    ax, ay = _centre(a)
+    bx, by = _centre(b)
+    centre_to_centre = abs(ax - bx) + abs(ay - by)
+    traverse = (a.width + a.height) / 2.0 + (b.width + b.height) / 2.0
+    return WirePath(length_mm=centre_to_centre + traverse)
+
+
+def stacked_path(
+    bottom: Floorplan, top: Floorplan, source: str, dest: str
+) -> WirePath:
+    """Worst-case path between blocks on different dies of a stack.
+
+    Per the paper's load-to-use example: data travels to the centre of
+    the source block, hops through the d2d vias, and continues to the
+    destination — "that same worst case path contains half as much
+    routing distance, since the data is only traversing half of the data
+    cache and half of the functional units".
+    """
+    source_plan = bottom if source in bottom else top
+    dest_plan = bottom if dest in bottom else top
+    a = source_plan.block(source)
+    b = dest_plan.block(dest)
+    ax, ay = _centre(a)
+    bx, by = _centre(b)
+    lateral = abs(ax - bx) + abs(ay - by)
+    # Each block contributes half its traversal (to/from its centre).
+    traverse = (a.width + a.height) / 4.0 + (b.width + b.height) / 4.0
+    crossings = 0 if source_plan is dest_plan else 1
+    return WirePath(length_mm=lateral + traverse, crossings=crossings)
+
+
+def stage_saving(
+    planar: Floorplan,
+    bottom: Floorplan,
+    top: Floorplan,
+    source: str,
+    dest: str,
+    clock_ps: float = CLOCK_PERIOD_PS,
+) -> int:
+    """Full wire stages saved by the 3D floorplan on one path."""
+    before = planar_path(planar, source, dest).stages(clock_ps)
+    after = stacked_path(bottom, top, source, dest).stages(clock_ps)
+    return max(0, before - after)
+
+
+def load_to_use_saving(
+    planar: Floorplan, bottom: Floorplan, top: Floorplan
+) -> int:
+    """Wire stages saved on the D$ -> functional-units path (the paper's
+    first example; it reports one full stage saved)."""
+    return stage_saving(planar, bottom, top, "D$", "F")
+
+
+def stacked_pipeline_from_floorplans(
+    planar_fp: Floorplan,
+    bottom: Floorplan,
+    top: Floorplan,
+    base=None,
+):
+    """Build the 3D pipeline configuration with the wire rows *derived*
+    from floorplan geometry instead of asserted.
+
+    The two rows of Table 4 whose stage counts the paper explains
+    geometrically — the FP wire detour and the D$ load-to-use stage —
+    are computed from the actual planar and 3D floorplans via the wire
+    model; the remaining rows (which the paper attributes to shortened
+    global metal runs without giving geometry) keep their published
+    eliminations.
+
+    Returns:
+        A :class:`~repro.uarch.pipeline.PipelineConfig` for the stack.
+    """
+    from repro.uarch.pipeline import (
+        TABLE4_ELIMINATIONS,
+        planar_pipeline,
+        stacked_pipeline,
+    )
+
+    base = base or planar_pipeline()
+    areas = dict(TABLE4_ELIMINATIONS)
+    areas["fp_wire"] = min(
+        base.fp_wire_latency, fp_wire_saving(planar_fp, bottom, top)
+    )
+    areas["data_cache_read"] = min(
+        base.data_cache_read - 1,
+        load_to_use_saving(planar_fp, bottom, top),
+    )
+    return stacked_pipeline(base, areas)
+
+
+def fp_wire_saving(
+    planar: Floorplan, bottom: Floorplan, top: Floorplan
+) -> int:
+    """Wire stages saved on the FP register file -> FP unit path (the
+    paper's second example; it reports two stages saved because the
+    planar SIMD placement adds two cycles to all FP instructions)."""
+    # The planar route detours around the SIMD block: RF -> SIMD -> FP.
+    rf_to_simd = planar_path(planar, "RF", "SIMD")
+    simd_to_fp = planar_path(planar, "SIMD", "FP")
+    planar_stages = WirePath(
+        rf_to_simd.length_mm + simd_to_fp.length_mm
+    ).stages()
+    stacked_stages = stacked_path(bottom, top, "RF", "FP").stages()
+    return max(0, planar_stages - stacked_stages)

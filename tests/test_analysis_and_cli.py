@@ -1,0 +1,145 @@
+"""Tests for the analysis/reporting utilities and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.compare import ComparisonRow, compare_to_paper
+from repro.analysis.heatmap import ascii_heatmap
+from repro.analysis.tables import (
+    format_dict,
+    format_figure5,
+    format_table,
+    format_table5,
+)
+from repro.cli import build_parser, main
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, 4.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "2.50" in text
+        assert "30" in text
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        text = format_table(["col"], [])
+        assert "col" in text
+
+    def test_format_dict(self):
+        text = format_dict({"alpha": 1, "beta": 2.5}, title="t")
+        assert "alpha" in text and "2.50" in text
+
+    def test_format_figure5(self):
+        cpma = {"svm": {"2D 4MB": 3.0, "3D 12MB": 3.0, "3D 32MB": 1.0,
+                        "3D 64MB": 1.0}}
+        bw = {"svm": {"2D 4MB": 8.0, "3D 12MB": 8.0, "3D 32MB": 0.0,
+                      "3D 64MB": 0.0}}
+        text = format_figure5(cpma, bw)
+        assert "svm" in text
+        assert "Avg" in text  # the figure's average group
+
+    def test_format_table5(self):
+        rows = [{"name": "Baseline", "vcc": 1.0, "freq": 1.0,
+                 "power_w": 147.0, "power_pct": 100.0, "perf_pct": 100.0,
+                 "temp_c": 99.0}]
+        text = format_table5(rows)
+        assert "Baseline" in text
+        assert "147.00" in text
+
+    def test_format_table5_handles_missing_temp(self):
+        rows = [{"name": "X", "vcc": 1.0, "freq": 1.0, "power_w": 1.0,
+                 "power_pct": 1.0, "perf_pct": 1.0, "temp_c": None}]
+        assert "-" in format_table5(rows)
+
+
+class TestAsciiHeatmap:
+    def test_renders_extremes(self):
+        field = np.array([[0.0, 1.0], [2.0, 10.0]])
+        text = ascii_heatmap(field, width=16)
+        assert "@" in text       # hottest ramp char
+        assert "scale:" in text
+
+    def test_title_and_scale(self):
+        field = np.zeros((4, 4))
+        text = ascii_heatmap(field, width=8, title="map")
+        assert text.splitlines()[0] == "map"
+        assert "0.00" in text
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.zeros(5))
+
+    def test_explicit_range(self):
+        field = np.full((4, 4), 5.0)
+        text = ascii_heatmap(field, vmin=0.0, vmax=10.0)
+        # Mid-scale value: neither the coolest nor the hottest char.
+        body = text.splitlines()[0]
+        assert "@" not in body and body.strip() != ""
+
+    def test_orientation_bottom_row_first(self):
+        field = np.zeros((8, 8))
+        field[0:2, :] = 100.0  # hot stripe at y=0 (bottom)
+        text = ascii_heatmap(field, width=8)
+        lines = text.splitlines()
+        assert "@" in lines[-2]      # bottom rendered last (before scale)
+        assert "@" not in lines[0]
+
+
+class TestCompare:
+    def test_comparison_row_deviation(self):
+        row = ComparisonRow("x", paper=100.0, measured=110.0, unit="C")
+        assert row.deviation_pct == pytest.approx(10.0)
+        assert "+10.0%" in row.render()
+
+    def test_comparison_row_no_paper_value(self):
+        row = ComparisonRow("x", paper=None, measured=1.0)
+        assert row.deviation_pct is None
+        assert "-" in row.render()
+
+    def test_compare_to_paper_skips_missing(self):
+        text = compare_to_paper(
+            {"a": 1.0, "b": 2.0}, {"a": 1.1}, title="T"
+        )
+        assert "a" in text
+        assert "\nb" not in text
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure-5" in out
+        assert "table-4" in out
+
+    def test_run_table4(self, capsys):
+        assert main(["run", "table-4"]) == 0
+        out = capsys.readouterr().out
+        assert "total_gain_pct" in out
+
+    def test_run_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["run", "figure-42"])
+
+    def test_thermal_map(self, capsys):
+        assert main(["thermal-map", "--nx", "20", "--width", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6b" in out
+        assert "scale:" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_memory_command_small(self, capsys):
+        assert main([
+            "memory", "--workloads", "svd", "--scale", "16",
+            "--length-factor", "0.2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "svd" in out
+        assert "Figure 8a" in out

@@ -1,0 +1,100 @@
+"""Tests for the physical DieStack model and the d2d interface."""
+
+import pytest
+
+from repro.core.stack import (
+    D2DInterface,
+    Die,
+    DieStack,
+    D2D_RC_FRACTION,
+    OFFDIE_ENERGY_PER_BIT_J,
+    build_stack,
+)
+from repro.floorplan.blocks import uniform_floorplan
+
+
+def plan(power=50.0, name="die"):
+    return uniform_floorplan(name, 10.0, 10.0, power)
+
+
+class TestD2DInterface:
+    def test_rc_is_one_third_of_via_stack(self):
+        # "comparable to 1/3 the RC of a typical via stack"
+        assert D2DInterface().rc_vs_via_stack == pytest.approx(1 / 3)
+
+    def test_via_count_scales_with_area(self):
+        interface = D2DInterface(pitch_um=10.0)
+        assert interface.via_count(1.0, 1.0) == 100 * 100
+        assert interface.via_count(2.0, 1.0) == 2 * 100 * 100
+
+    def test_energy_far_below_offdie(self):
+        # The d2d interface must be orders of magnitude cheaper per bit
+        # than the 20 mW/Gb/s off-die bus.
+        interface = D2DInterface()
+        assert interface.energy_per_bit_j() < OFFDIE_ENERGY_PER_BIT_J / 100
+
+    def test_bandwidth_enormous(self):
+        # Dense face-to-face vias give orders of magnitude more BW than
+        # the 16 GB/s off-die bus.
+        interface = D2DInterface()
+        assert interface.bandwidth_gbps(10.0, 10.0) > 1000.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            D2DInterface(pitch_um=0.0)
+        with pytest.raises(ValueError):
+            D2DInterface(signal_fraction=0.0)
+
+
+class TestDie:
+    def test_metal_follows_kind(self):
+        assert Die(plan(), kind="logic").metal == "cu"
+        assert Die(plan(), kind="dram").metal == "al"
+
+    def test_power_from_floorplan(self):
+        assert Die(plan(42.0)).power_w == pytest.approx(42.0)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Die(plan(), kind="photonic")
+
+
+class TestDieStack:
+    def test_requires_matching_outlines(self):
+        small = uniform_floorplan("s", 5.0, 5.0, 10.0)
+        with pytest.raises(ValueError, match="matching"):
+            DieStack(Die(plan()), Die(small, bulk_um=20.0))
+
+    def test_total_power(self):
+        stack = build_stack(plan(60.0, "a"), plan(20.0, "b"))
+        assert stack.total_power_w == pytest.approx(80.0)
+
+    def test_build_stack_thicknesses_follow_table2(self):
+        stack = build_stack(plan(), plan(10.0))
+        assert stack.die_near_sink.bulk_um == 750.0
+        assert stack.die_near_bumps.bulk_um == 20.0
+
+    def test_placement_rule_validation(self):
+        good = build_stack(plan(60.0), plan(20.0))
+        assert good.hot_die_near_sink()
+        assert good.validate() == []
+
+        bad = build_stack(plan(20.0), plan(60.0))
+        assert not bad.hot_die_near_sink()
+        assert any("heat sink" in p for p in bad.validate())
+
+    def test_thick_die2_flagged(self):
+        stack = DieStack(
+            Die(plan(60.0)), Die(plan(20.0), bulk_um=300.0)
+        )
+        assert any("thinned" in p for p in stack.validate())
+
+    def test_interface_power_small_at_bus_rates(self):
+        # Even at the full 16 GB/s the d2d interface burns far less than
+        # the 0.5 W the off-die bus would (Section 3's savings argument).
+        stack = build_stack(plan(60.0), plan(20.0))
+        assert stack.interface_power_w(16.0) < 0.05
+
+    def test_footprint(self):
+        stack = build_stack(plan(), plan(10.0))
+        assert stack.footprint_mm2 == pytest.approx(100.0)

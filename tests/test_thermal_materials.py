@@ -1,0 +1,172 @@
+"""Tests for material constants (Table 2) and the layer-stack builders."""
+
+import pytest
+
+from repro.floorplan import core2duo_floorplan, stacked_cache_die
+from repro.thermal.materials import (
+    AMBIENT_C,
+    MATERIALS,
+    TABLE2_CONSTANTS,
+    Material,
+    get_material,
+)
+from repro.thermal.stack import (
+    Layer,
+    ThermalStack,
+    build_3d_stack,
+    build_planar_stack,
+)
+
+
+class TestTable2Constants:
+    """The published constants, verbatim from Table 2."""
+
+    def test_si1_thickness(self):
+        assert TABLE2_CONSTANTS["si1_thickness_um"] == 750.0
+
+    def test_si2_thickness(self):
+        assert TABLE2_CONSTANTS["si2_thickness_um"] == 20.0
+
+    def test_si_conductivity(self):
+        assert TABLE2_CONSTANTS["si_conductivity"] == 120.0
+
+    def test_cu_metal(self):
+        assert TABLE2_CONSTANTS["cu_metal_thickness_um"] == 12.0
+        assert TABLE2_CONSTANTS["cu_metal_conductivity"] == 12.0
+
+    def test_al_metal(self):
+        assert TABLE2_CONSTANTS["al_metal_thickness_um"] == 2.0
+        assert TABLE2_CONSTANTS["al_metal_conductivity"] == 9.0
+
+    def test_bond_layer(self):
+        assert TABLE2_CONSTANTS["bond_thickness_um"] == 15.0
+        assert TABLE2_CONSTANTS["bond_conductivity"] == 60.0
+
+    def test_heat_sink(self):
+        assert TABLE2_CONSTANTS["heat_sink_conductivity"] == 400.0
+
+    def test_ambient(self):
+        assert AMBIENT_C == 40.0
+
+
+class TestMaterial:
+    def test_rejects_nonpositive_conductivity(self):
+        with pytest.raises(ValueError):
+            Material("bad", 0.0)
+
+    def test_get_material(self):
+        assert get_material("bulk-si").conductivity == 120.0
+
+    def test_get_material_unknown(self):
+        with pytest.raises(KeyError, match="unknown material"):
+            get_material("unobtainium")
+
+    def test_all_materials_positive(self):
+        for material in MATERIALS.values():
+            assert material.conductivity > 0
+
+
+class TestLayer:
+    def test_rejects_nonpositive_thickness(self):
+        with pytest.raises(ValueError):
+            Layer("l", 0.0, get_material("bulk-si"), get_material("bulk-si"))
+
+    def test_rejects_zero_divisions(self):
+        with pytest.raises(ValueError):
+            Layer("l", 1e-3, get_material("bulk-si"),
+                  get_material("bulk-si"), divisions=0)
+
+    def test_with_conductivity(self):
+        layer = Layer("l", 1e-3, get_material("cu-metal"),
+                      get_material("epoxy-fillet"))
+        swept = layer.with_conductivity(3.0)
+        assert swept.material_in.conductivity == 3.0
+        assert swept.material_out.conductivity == layer.material_out.conductivity
+        assert layer.material_in.conductivity == 12.0  # original untouched
+
+
+class TestStackBuilders:
+    def test_planar_stack_layer_order(self, baseline_die):
+        stack = build_planar_stack(baseline_die)
+        names = [layer.name for layer in stack.layers]
+        assert names.index("heat-sink") < names.index("bulk-si-1")
+        assert names.index("bulk-si-1") < names.index("metal-1")
+        assert names.index("metal-1") < names.index("package")
+        assert names[-1] == "motherboard"
+
+    def test_planar_stack_power(self, baseline_die):
+        stack = build_planar_stack(baseline_die)
+        assert stack.total_power == pytest.approx(92.0)
+
+    def test_planar_si_thickness_matches_table2(self, baseline_die):
+        stack = build_planar_stack(baseline_die)
+        assert stack.layer("bulk-si-1").thickness_m == pytest.approx(750e-6)
+        assert stack.layer("metal-1").thickness_m == pytest.approx(12e-6)
+
+    def test_3d_stack_has_bond_and_second_die(self, baseline_die):
+        cache = stacked_cache_die("sram-8mb", baseline_die)
+        stack = build_3d_stack(baseline_die, cache, die2_metal="cu")
+        names = [layer.name for layer in stack.layers]
+        for expected in ("bond", "metal-2", "bulk-si-2"):
+            assert expected in names
+        # Face-to-face: metal-1 and metal-2 sandwich the bond layer.
+        assert names.index("metal-1") + 1 == names.index("bond")
+        assert names.index("bond") + 1 == names.index("metal-2")
+
+    def test_3d_stack_dram_uses_al_metal(self, baseline_die):
+        cache = stacked_cache_die("dram-64mb", baseline_die)
+        stack = build_3d_stack(baseline_die, cache, die2_metal="al")
+        metal2 = stack.layer("metal-2")
+        assert metal2.thickness_m == pytest.approx(2e-6)
+        assert metal2.material_in.conductivity == 9.0
+
+    def test_3d_stack_die2_is_thinned(self, baseline_die):
+        cache = stacked_cache_die("sram-8mb", baseline_die)
+        stack = build_3d_stack(baseline_die, cache)
+        assert stack.layer("bulk-si-2").thickness_m == pytest.approx(20e-6)
+
+    def test_3d_stack_total_power(self, baseline_die):
+        cache = stacked_cache_die("sram-8mb", baseline_die)
+        stack = build_3d_stack(baseline_die, cache)
+        assert stack.total_power == pytest.approx(106.0)
+
+    def test_3d_requires_matching_outlines(self, baseline_die):
+        from repro.floorplan.blocks import uniform_floorplan
+
+        small = uniform_floorplan("small", 5.0, 5.0, 1.0)
+        with pytest.raises(ValueError, match="matching die outlines"):
+            build_3d_stack(baseline_die, small)
+
+    def test_3d_rejects_unknown_metal(self, baseline_die):
+        cache = stacked_cache_die("sram-8mb", baseline_die)
+        with pytest.raises(ValueError, match="die2_metal"):
+            build_3d_stack(baseline_die, cache, die2_metal="w")
+
+    def test_replace_layer(self, baseline_die):
+        stack = build_planar_stack(baseline_die)
+        swept = stack.replace_layer(
+            stack.layer("metal-1").with_conductivity(3.0)
+        )
+        assert swept.layer("metal-1").material_in.conductivity == 3.0
+        assert stack.layer("metal-1").material_in.conductivity == 12.0
+
+    def test_replace_unknown_layer_raises(self, baseline_die):
+        stack = build_planar_stack(baseline_die)
+        with pytest.raises(KeyError):
+            stack.replace_layer(
+                Layer("ghost", 1e-3, get_material("bulk-si"),
+                      get_material("bulk-si"))
+            )
+
+    def test_duplicate_layer_names_rejected(self, baseline_die):
+        layer = Layer("x", 1e-3, get_material("bulk-si"),
+                      get_material("bulk-si"))
+        with pytest.raises(ValueError, match="duplicate"):
+            ThermalStack("s", 0.01, 0.01, [layer, layer])
+
+    def test_die_bigger_than_domain_rejected(self):
+        from repro.floorplan.blocks import uniform_floorplan
+
+        huge = uniform_floorplan("huge", 50.0, 50.0, 10.0)
+        with pytest.raises(ValueError, match="does not fit"):
+            build_planar_stack(huge)

@@ -1,0 +1,161 @@
+"""Physics and regression tests for the finite-volume thermal solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.floorplan import core2duo_floorplan, stacked_cache_die
+from repro.floorplan.blocks import uniform_floorplan
+from repro.thermal.solver import SolverConfig, solve_steady_state
+from repro.thermal.stack import build_3d_stack, build_planar_stack
+
+FAST = SolverConfig(nx=24, ny=24)
+
+
+class TestSolverPhysics:
+    def test_energy_conservation(self, planar_solution):
+        # Heat leaving through the boundaries equals the injected power.
+        out = planar_solution.boundary_heat_flow()
+        assert out == pytest.approx(planar_solution.stack.total_power, rel=1e-6)
+
+    def test_energy_conservation_3d(self, stacked_solution):
+        out = stacked_solution.boundary_heat_flow()
+        assert out == pytest.approx(
+            stacked_solution.stack.total_power, rel=1e-6
+        )
+
+    def test_maximum_principle(self, planar_solution):
+        # With heat sources, no temperature is below ambient.
+        assert planar_solution.temperature.min() >= (
+            planar_solution.config.ambient_c - 1e-6
+        )
+
+    def test_zero_power_gives_ambient_everywhere(self):
+        die = uniform_floorplan("cold", 10.0, 10.0, 0.0)
+        solution = solve_steady_state(build_planar_stack(die), FAST)
+        assert np.allclose(solution.temperature, FAST.ambient_c, atol=1e-8)
+
+    def test_linearity_in_power(self):
+        # Steady conduction is linear: doubling power doubles the rise.
+        die1 = uniform_floorplan("u", 10.0, 10.0, 50.0)
+        die2 = uniform_floorplan("u", 10.0, 10.0, 100.0)
+        sol1 = solve_steady_state(build_planar_stack(die1), FAST)
+        sol2 = solve_steady_state(build_planar_stack(die2), FAST)
+        rise1 = sol1.peak_temperature() - FAST.ambient_c
+        rise2 = sol2.peak_temperature() - FAST.ambient_c
+        assert rise2 == pytest.approx(2.0 * rise1, rel=1e-9)
+
+    def test_symmetry_for_symmetric_power(self):
+        # A centred uniform die must give a laterally symmetric field.
+        # (Grid chosen so the rounded die region centres exactly; with
+        # mismatched parity the half-cell offset breaks exact symmetry.)
+        die = uniform_floorplan("u", 10.0, 10.0, 60.0)
+        config = SolverConfig(nx=25, ny=25)
+        solution = solve_steady_state(build_planar_stack(die), config)
+        field = solution.temperature[0]  # heat-sink plane
+        assert np.allclose(field, field[:, ::-1], rtol=1e-9)
+        assert np.allclose(field, field[::-1, :], rtol=1e-9)
+
+    def test_better_cooling_is_cooler(self):
+        die = uniform_floorplan("u", 10.0, 10.0, 80.0)
+        stack = build_planar_stack(die)
+        weak = solve_steady_state(
+            stack, SolverConfig(nx=24, ny=24, heatsink_h=2000.0)
+        )
+        strong = solve_steady_state(
+            stack, SolverConfig(nx=24, ny=24, heatsink_h=8000.0)
+        )
+        assert strong.peak_temperature() < weak.peak_temperature()
+
+    def test_hotspot_is_over_the_hot_block(self, planar_solution):
+        # The hotspot must sit in a core, not in the (cool) L2 half.
+        die_map = planar_solution.die_map("metal-1")
+        j, i = np.unravel_index(np.argmax(die_map), die_map.shape)
+        # Cores occupy the top half of the die (y > 6 mm).
+        assert j >= die_map.shape[0] // 2
+
+    def test_temperature_decreases_away_from_die(self, planar_solution):
+        # The die runs hotter than the heat-sink top surface.
+        die_peak = planar_solution.layer_peak("metal-1")
+        sink = planar_solution.layer_temperature("heat-sink")[0].max()
+        assert die_peak > sink
+
+    @given(power=st.floats(min_value=1.0, max_value=200.0))
+    @settings(max_examples=8, deadline=None)
+    def test_rise_scales_linearly_property(self, power):
+        die = uniform_floorplan("u", 10.0, 10.0, power)
+        tiny = SolverConfig(nx=12, ny=12)
+        solution = solve_steady_state(build_planar_stack(die), tiny)
+        rise = solution.peak_temperature() - tiny.ambient_c
+        # Rise per watt is a constant of the geometry.
+        assert rise / power == pytest.approx(0.3732, rel=0.02)
+
+
+class TestSolverConfigValidation:
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ValueError):
+            SolverConfig(nx=2, ny=2)
+
+    def test_rejects_nonpositive_h(self):
+        with pytest.raises(ValueError):
+            SolverConfig(heatsink_h=0.0)
+
+
+class TestSolutionQueries:
+    def test_layer_planes_cover_all_layers(self, planar_solution):
+        stack = planar_solution.stack
+        planes = planar_solution.layer_planes
+        assert set(planes) == {layer.name for layer in stack.layers}
+        total = sum(z1 - z0 for z0, z1 in planes.values())
+        assert total == planar_solution.temperature.shape[0]
+
+    def test_die_layers_detected(self, stacked_solution):
+        names = stacked_solution.die_layer_names
+        assert "bulk-si-1" in names
+        assert "metal-1" in names
+        assert "bond" in names
+        assert "metal-2" in names
+        assert "heat-sink" not in names
+        assert "package" not in names
+
+    def test_die_map_shape_matches_region(self, planar_solution):
+        j0, j1, i0, i1 = planar_solution.die_region
+        die_map = planar_solution.die_map("metal-1")
+        assert die_map.shape == (j1 - j0, i1 - i0)
+
+    def test_coolest_on_die_below_peak(self, planar_solution):
+        assert (
+            planar_solution.coolest_on_die()
+            < planar_solution.peak_temperature()
+        )
+
+    def test_hottest_layer_is_an_active_layer(self, stacked_solution):
+        assert stacked_solution.hottest_layer() in (
+            "metal-1", "metal-2", "bond", "bulk-si-1", "bulk-si-2"
+        )
+
+
+class TestPaperOperatingPoints:
+    """Coarse-grid sanity on the calibrated operating points; the
+    benchmarks check the fine-grid values against the paper."""
+
+    def test_baseline_near_88c(self, planar_solution):
+        assert 82.0 <= planar_solution.peak_temperature() <= 95.0
+
+    def test_sram_stack_hotter_than_baseline(
+        self, planar_solution, stacked_solution
+    ):
+        # Figure 8: the 12 MB SRAM option is the hottest stack.
+        assert (
+            stacked_solution.peak_temperature()
+            > planar_solution.peak_temperature()
+        )
+
+    def test_dram32_cooler_than_sram12(self, baseline_die, stacked_solution):
+        nol2 = core2duo_floorplan(with_l2=False)
+        dram = stacked_cache_die("dram-32mb", nol2)
+        sol32 = solve_steady_state(
+            build_3d_stack(nol2, dram, die2_metal="al"), FAST
+        )
+        assert sol32.peak_temperature() < stacked_solution.peak_temperature()

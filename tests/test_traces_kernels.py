@@ -1,0 +1,214 @@
+"""Tests for the RMS kernel generators and the SMP trace generator."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces.generator import TraceGenerator, WorkloadSpec, generate_trace
+from repro.traces.kernels.base import (
+    KernelParams,
+    Region,
+    SHARED_BASE,
+    carve,
+    private_base,
+)
+from repro.traces.kernels.registry import (
+    CAPACITY_SENSITIVE,
+    KERNELS,
+    default_params,
+    get_kernel,
+    kernel_names,
+)
+from repro.traces.record import validate_trace
+
+
+class TestKernelParams:
+    def test_effective_footprint_scales(self):
+        params = KernelParams(footprint_bytes=1 << 20, scale=4)
+        assert params.effective_footprint == (1 << 20) // 4
+
+    def test_effective_footprint_floor(self):
+        params = KernelParams(footprint_bytes=8192, scale=1000)
+        assert params.effective_footprint == 4096
+
+    def test_elements(self):
+        params = KernelParams(footprint_bytes=8192, element_bytes=8)
+        assert params.elements() == 1024
+        assert params.elements(0.5) == 512
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            KernelParams(footprint_bytes=0)
+        with pytest.raises(ValueError):
+            KernelParams(footprint_bytes=1024, scale=0)
+
+
+class TestRegion:
+    def test_addressing(self):
+        region = Region(0x1000, 8, 10)
+        assert region.addr(0) == 0x1000
+        assert region.addr(3) == 0x1018
+        assert region.addr(10) == 0x1000  # wraps
+
+    def test_size_and_end(self):
+        region = Region(0x1000, 8, 10)
+        assert region.size_bytes == 80
+        assert region.end == 0x1050
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Region(0, 8, 0)
+
+    def test_carve_aligns_to_pages(self):
+        region, next_base = carve(0x1000, 8, 10)
+        assert next_base % 0x1000 == 0
+        assert next_base >= region.end
+
+    def test_private_bases_disjoint(self):
+        assert private_base(0) != private_base(1)
+        with pytest.raises(ValueError):
+            private_base(-1)
+
+
+class TestRegistry:
+    def test_all_twelve_workloads_present(self):
+        # Table 1 has exactly twelve RMS workloads.
+        assert len(kernel_names()) == 12
+        for name in ("conj", "dsym", "gauss", "pcg", "smvm", "ssym",
+                     "strans", "savdf", "savif", "sus", "svd", "svm"):
+            assert name in KERNELS
+
+    def test_capacity_sensitive_match_paper(self):
+        # "gauss, pcg, sMVM, sTrans, sUS, and svm" (Section 3).
+        assert set(CAPACITY_SENSITIVE) == {
+            "gauss", "pcg", "smvm", "strans", "sus", "svm"
+        }
+
+    def test_capacity_sensitive_have_big_footprints(self):
+        mb = 1 << 20
+        for name in kernel_names():
+            footprint = KERNELS[name].default_footprint
+            if name in CAPACITY_SENSITIVE:
+                assert footprint > 8 * mb, name
+            else:
+                assert footprint <= 4 * mb, name
+
+    def test_get_kernel_unknown(self):
+        with pytest.raises(KeyError, match="unknown RMS kernel"):
+            get_kernel("quake3")
+
+    def test_default_params(self):
+        params = default_params("svm", scale=8)
+        assert params.scale == 8
+        assert params.footprint_bytes == KERNELS["svm"].default_footprint
+
+
+class TestKernelStreams:
+    @pytest.mark.parametrize("name", kernel_names())
+    def test_kernel_yields_valid_accesses(self, name):
+        import random
+
+        entry = get_kernel(name)
+        params = KernelParams(footprint_bytes=64 * 1024)
+        stream = entry.fn(0, 2, params, random.Random(1))
+        for kind, address, site, read_reg, write_reg in itertools.islice(
+            stream, 500
+        ):
+            assert kind in (0, 1)
+            assert address >= 0
+            assert site >= 0
+            if write_reg is not None:
+                assert isinstance(write_reg, str)
+
+    @pytest.mark.parametrize("name", kernel_names())
+    def test_threads_partition_but_share(self, name):
+        # Both threads must touch the shared region; private regions must
+        # not collide.
+        recs0 = generate_trace(name, n_records=4000, n_threads=2)
+        shared0 = {r.address for r in recs0
+                   if r.cpu == 0 and r.address < private_base(0)}
+        shared1 = {r.address for r in recs0
+                   if r.cpu == 1 and r.address < private_base(0)}
+        private0 = {r.address for r in recs0
+                    if r.cpu == 0 and r.address >= private_base(0)}
+        private1 = {r.address for r in recs0
+                    if r.cpu == 1 and r.address >= private_base(0)}
+        assert shared0 and shared1  # both touch shared data
+        assert not (private0 & private1)  # privates are disjoint
+
+    def test_kernels_are_infinite(self):
+        # Generators iterate their outer loop forever (interleaver cuts).
+        recs = generate_trace("svd", n_records=50_000)
+        assert len(recs) == 50_000
+
+
+class TestTraceGenerator:
+    def test_trace_is_valid(self):
+        records = generate_trace("smvm", n_records=5000)
+        validate_trace(records)
+
+    def test_deterministic_for_seed(self):
+        a = generate_trace("pcg", n_records=2000, seed=42)
+        b = generate_trace("pcg", n_records=2000, seed=42)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_trace("pcg", n_records=2000, seed=42)
+        b = generate_trace("pcg", n_records=2000, seed=43)
+        assert a != b
+
+    def test_uids_are_dense(self):
+        records = generate_trace("conj", n_records=1000)
+        assert [r.uid for r in records] == list(range(1000))
+
+    def test_both_cpus_emit(self):
+        records = generate_trace("gauss", n_records=5000)
+        cpus = {r.cpu for r in records}
+        assert cpus == {0, 1}
+
+    def test_single_thread_supported(self):
+        records = generate_trace("svm", n_records=1000, n_threads=1)
+        assert {r.cpu for r in records} == {0}
+
+    def test_dependencies_reference_same_cpu(self):
+        # The tracker is per-cpu, so dependencies stay within a thread.
+        records = generate_trace("smvm", n_records=5000)
+        by_uid = {r.uid: r for r in records}
+        deps = [r for r in records if r.has_dependency]
+        assert deps, "smvm must produce dependent loads"
+        for r in deps:
+            assert by_uid[r.dep_uid].cpu == r.cpu
+
+    def test_dependencies_point_to_loads(self):
+        records = generate_trace("strans", n_records=5000)
+        by_uid = {r.uid: r for r in records}
+        for r in records:
+            if r.has_dependency:
+                assert by_uid[r.dep_uid].is_load
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="svm", n_records=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="svm", n_threads=0)
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KeyError):
+            TraceGenerator(WorkloadSpec(name="doom"))
+
+    @given(n=st.integers(min_value=1, max_value=3000))
+    @settings(max_examples=15, deadline=None)
+    def test_exact_record_count_property(self, n):
+        records = generate_trace("ssym", n_records=n)
+        assert len(records) == n
+        validate_trace(records)
+
+    def test_footprint_tracks_scale(self):
+        # Larger scale -> smaller touched footprint for the same length.
+        big = generate_trace("gauss", n_records=30_000, scale=4)
+        small = generate_trace("gauss", n_records=30_000, scale=32)
+        span_big = len({r.address >> 6 for r in big})
+        span_small = len({r.address >> 6 for r in small})
+        assert span_small < span_big

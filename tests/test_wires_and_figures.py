@@ -1,0 +1,189 @@
+"""Tests for the wire-delay model, the SVG figure renderer, and the
+DRAM-cache tag accounting."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.figures import (
+    SvgCanvas,
+    render_figure3,
+    render_figure5,
+    render_grouped_bars,
+    render_lines,
+    render_paper_comparison_bars,
+)
+from repro.floorplan import pentium4_3d_floorplans, pentium4_planar_floorplan
+from repro.memsim.config import DramCacheConfig
+from repro.uarch.wires import (
+    WirePath,
+    fp_wire_saving,
+    load_to_use_saving,
+    planar_path,
+    stacked_path,
+    stage_saving,
+)
+
+MB = 1 << 20
+
+
+@pytest.fixture(scope="module")
+def p4_plans():
+    planar = pentium4_planar_floorplan()
+    bottom, top = pentium4_3d_floorplans()
+    return planar, bottom, top
+
+
+class TestWireModel:
+    def test_load_to_use_saves_one_stage(self, p4_plans):
+        # "eliminating the one clock cycle of delay in the load-to-use
+        # delay" (Section 4).
+        planar, bottom, top = p4_plans
+        assert load_to_use_saving(planar, bottom, top) == 1
+
+    def test_fp_wire_saves_two_stages(self, p4_plans):
+        # "This placement adds two cycles to the latency of all FP
+        # instructions" — removed by the 3D floorplan.
+        planar, bottom, top = p4_plans
+        assert fp_wire_saving(planar, bottom, top) == 2
+
+    def test_stacked_path_much_shorter(self, p4_plans):
+        planar, bottom, top = p4_plans
+        before = planar_path(planar, "D$", "F")
+        after = stacked_path(bottom, top, "D$", "F")
+        # "half as much routing distance" — at least halved here.
+        assert after.length_mm < before.length_mm / 2
+
+    def test_die_crossing_counted(self, p4_plans):
+        _, bottom, top = p4_plans
+        cross = stacked_path(bottom, top, "D$", "F")  # D$ top, F bottom
+        same = stacked_path(bottom, top, "SIMD", "RF")  # both bottom
+        assert cross.crossings == 1
+        assert same.crossings == 0
+
+    def test_d2d_hop_is_cheap(self):
+        # The hop must cost far less than a wire stage.
+        with_hop = WirePath(1.0, crossings=1)
+        without = WirePath(1.0, crossings=0)
+        assert with_hop.delay_ps() - without.delay_ps() < 50.0
+
+    def test_stages_floor_division(self):
+        assert WirePath(0.1).stages() == 0
+        long = WirePath(100.0)
+        assert long.stages() >= 1
+
+    def test_stage_saving_never_negative(self, p4_plans):
+        planar, bottom, top = p4_plans
+        # Sched and F are adjacent on the bottom die: short either way,
+        # and the saving must never go negative.
+        assert stage_saving(planar, bottom, top, "Sched", "F") >= 0
+
+    def test_faster_clock_needs_more_stages(self, p4_plans):
+        planar, _, _ = p4_plans
+        path = planar_path(planar, "D$", "F")
+        assert path.stages(clock_ps=100.0) >= path.stages(clock_ps=250.0)
+
+
+class TestTagAccounting:
+    def test_paper_tag_sizes(self):
+        # "the tag size increases the size of the baseline die by about
+        # 2MB"; "for ... 64MB DRAM the tag size is about 4MB".
+        assert DramCacheConfig(size_bytes=32 * MB).tag_store_bytes() == 2 * MB
+        assert DramCacheConfig(size_bytes=64 * MB).tag_store_bytes() == 4 * MB
+
+    def test_tag_overhead_fraction(self):
+        config = DramCacheConfig(size_bytes=32 * MB)
+        assert config.tag_area_overhead() == pytest.approx(0.5)
+
+    def test_tag_entry_size_validated(self):
+        with pytest.raises(ValueError):
+            DramCacheConfig(size_bytes=32 * MB).tag_store_bytes(0)
+
+
+class TestSvgCanvas:
+    def test_empty_canvas_is_valid_svg(self, tmp_path):
+        canvas = SvgCanvas(100, 50)
+        path = canvas.save(tmp_path / "empty.svg")
+        root = ET.parse(path).getroot()
+        assert root.tag.endswith("svg")
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            SvgCanvas(0, 10)
+
+    def test_escapes_text(self, tmp_path):
+        canvas = SvgCanvas(100, 50)
+        canvas.text(5, 5, "a < b & c")
+        path = canvas.save(tmp_path / "escaped.svg")
+        ET.parse(path)  # would raise on unescaped characters
+
+    def test_tooltip_titles(self, tmp_path):
+        canvas = SvgCanvas(100, 50)
+        canvas.rect(0, 0, 10, 10, "#000", title="value: 42")
+        text = canvas.to_string()
+        assert "<title>value: 42</title>" in text
+
+
+class TestFigureRenderers:
+    def test_grouped_bars(self, tmp_path):
+        path = render_grouped_bars(
+            {"a": {"x": 1.0, "y": 2.0}, "b": {"x": 3.0, "y": 0.5}},
+            ["x", "y"], "T", "units", tmp_path / "bars.svg",
+        )
+        root = ET.parse(path).getroot()
+        rects = [e for e in root.iter() if e.tag.endswith("rect")]
+        # Background + 4 bars + 2 legend swatches.
+        assert len(rects) == 7
+
+    def test_grouped_bars_rejects_empty(self, tmp_path):
+        with pytest.raises(ValueError):
+            render_grouped_bars({}, ["x"], "T", "u", tmp_path / "x.svg")
+
+    def test_lines(self, tmp_path):
+        path = render_lines(
+            {"s1": {1.0: 2.0, 2.0: 3.0}, "s2": {1.0: 1.0, 2.0: 0.5}},
+            "T", "x", "y", tmp_path / "lines.svg",
+        )
+        root = ET.parse(path).getroot()
+        polylines = [e for e in root.iter() if e.tag.endswith("polyline")]
+        circles = [e for e in root.iter() if e.tag.endswith("circle")]
+        assert len(polylines) == 2
+        assert len(circles) == 4
+
+    def test_figure3_renderer(self, tmp_path):
+        result = {
+            "cu_metal": {60.0: 106.0, 12.0: 108.0, 3.0: 115.0},
+            "bond": {60.0: 108.0, 12.0: 110.0, 3.0: 114.0},
+        }
+        path = render_figure3(result, tmp_path / "f3.svg")
+        text = path.read_text()
+        assert "Cu metal layers" in text
+        assert "Bonding layer" in text
+
+    def test_figure5_renderer(self, tmp_path):
+        cpma = {"svm": {"2D 4MB": 3.8, "3D 12MB": 3.8, "3D 32MB": 2.8,
+                        "3D 64MB": 2.8}}
+        bw = {"svm": {"2D 4MB": 1.8, "3D 12MB": 1.8, "3D 32MB": 0.0,
+                      "3D 64MB": 0.0}}
+        paths = render_figure5(cpma, bw, tmp_path / "a.svg",
+                               tmp_path / "b.svg")
+        assert len(paths) == 2
+        for path in paths:
+            ET.parse(path)
+
+    def test_comparison_bars(self, tmp_path):
+        path = render_paper_comparison_bars(
+            {"2D": 88.5, "3D": 92.1},
+            {"2D": 88.35, "3D": 92.85},
+            "Fig 8", "peak C", tmp_path / "f8.svg",
+        )
+        text = path.read_text()
+        assert "measured" in text
+        assert "paper" in text
+
+    def test_zero_values_render(self, tmp_path):
+        path = render_grouped_bars(
+            {"w": {"a": 0.0, "b": 1.0}}, ["a", "b"], "T", "u",
+            tmp_path / "zero.svg",
+        )
+        ET.parse(path)
