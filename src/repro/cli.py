@@ -12,6 +12,8 @@ Commands:
 * ``figures`` — render every regenerable figure to SVG files.
 * ``validate`` — run the acceptance suite: every quantity graded
   pass/shape/fail against the published values.
+* ``replay`` — replay a trace file through the memory hierarchy with
+  strict/lenient validation and optional checkpoint/resume.
 """
 
 from __future__ import annotations
@@ -39,18 +41,63 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.core.experiments import run_experiment
+
     experiment = get_experiment(args.experiment)
     kwargs = {}
     if args.nx:
         kwargs["nx"] = args.nx
     if args.scale:
         kwargs["scale"] = args.scale
-    result = experiment.run(**kwargs)
+    outcome = run_experiment(
+        args.experiment, strict=not args.lenient, **kwargs
+    )
     print(f"{experiment.id}: {experiment.title}")
     print("\npaper values:")
     print(json.dumps(experiment.paper_values, indent=2, default=str))
+    if not outcome.ok:
+        print(f"\nFAILED ({outcome.error_type}): {outcome.error}")
+        if outcome.partial:
+            print("partial results before failure:")
+            print(json.dumps(outcome.partial, indent=2, default=str))
+        return 1
     print("\nmeasured:")
-    print(json.dumps(result, indent=2, default=str))
+    print(json.dumps(outcome.result, indent=2, default=str))
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.memsim import baseline_config
+    from repro.memsim.replay import replay_trace
+    from repro.resilience.errors import ReproError
+    from repro.traces.record import read_trace
+
+    strict = args.mode != "lenient"
+    checkpoint_path = args.checkpoint or (args.trace + ".ckpt")
+    try:
+        records = list(read_trace(args.trace, strict=strict))
+        stats = replay_trace(
+            records,
+            baseline_config(),
+            warmup_fraction=args.warmup_fraction,
+            mode=args.mode,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_path=(
+                checkpoint_path if args.checkpoint_every else None
+            ),
+            resume_from=checkpoint_path if args.resume else None,
+        )
+    except (ReproError, OSError) as exc:
+        print(f"replay failed ({type(exc).__name__}): {exc}", file=sys.stderr)
+        return 1
+    print(f"replayed {args.trace}: {stats.n_accesses} measured references")
+    print(f"  CPMA          {stats.cpma:.3f} cycles/access")
+    print(f"  avg latency   {stats.avg_latency:.1f} cycles")
+    print(f"  off-die BW    {stats.bandwidth_gbps:.2f} GB/s")
+    print(f"  bus power     {stats.bus_power_w:.2f} W")
+    if stats.quarantined:
+        print(f"  quarantined   {stats.quarantined} corrupt record(s): "
+              f"{stats.quarantined_by_reason}")
     return 0
 
 
@@ -179,6 +226,29 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("experiment", help="experiment id (see 'list')")
     run.add_argument("--nx", type=int, help="thermal grid resolution")
     run.add_argument("--scale", type=int, help="capacity/footprint scale")
+    run.add_argument("--lenient", action="store_true",
+                     help="capture failures (with partial results) "
+                          "instead of raising")
+
+    replay = sub.add_parser(
+        "replay", help="replay a trace file through the memory hierarchy"
+    )
+    replay.add_argument("trace", help="trace file (see traces.record.write_trace)")
+    mode = replay.add_mutually_exclusive_group()
+    mode.add_argument("--strict", dest="mode", action="store_const",
+                      const="strict", default="strict",
+                      help="fail on the first corrupt record (default)")
+    mode.add_argument("--lenient", dest="mode", action="store_const",
+                      const="lenient",
+                      help="quarantine corrupt records and report counts")
+    replay.add_argument("--warmup-fraction", type=float, default=0.3,
+                        help="leading fraction used to warm the caches")
+    replay.add_argument("--checkpoint-every", type=int, metavar="N",
+                        help="checkpoint replay state every N records")
+    replay.add_argument("--checkpoint", metavar="FILE",
+                        help="checkpoint path (default: <trace>.ckpt)")
+    replay.add_argument("--resume", action="store_true",
+                        help="resume from the latest checkpoint")
 
     memory = sub.add_parser("memory", help="Section 3 Memory+Logic study")
     memory.add_argument("--workloads", help="comma-separated kernel names")
@@ -222,6 +292,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "thermal-map": _cmd_thermal_map,
         "figures": _cmd_figures,
         "validate": _cmd_validate,
+        "replay": _cmd_replay,
     }
     return handlers[args.command](args)
 

@@ -9,8 +9,12 @@ them next to the published values.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.resilience.errors import ReproError
 
 
 @dataclass(frozen=True)
@@ -28,6 +32,66 @@ class Experiment:
     title: str
     paper_values: Dict[str, Any]
     run: Callable[..., Dict[str, Any]]
+
+
+@dataclass
+class ExperimentOutcome:
+    """Result of a guarded experiment run (see :func:`run_experiment`).
+
+    Attributes:
+        experiment_id: Which experiment ran.
+        ok: True if the run completed.
+        result: The measured values (empty on failure).
+        error: Stringified failure, or None.
+        error_type: Exception class name, or None.
+        partial: Intermediate results the failing engine surfaced via
+            :class:`~repro.resilience.errors.ReproError.partial`.
+        elapsed_s: Wall-clock run time.
+    """
+
+    experiment_id: str
+    ok: bool
+    result: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    partial: Dict[str, Any] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+
+class ExperimentRegistry:
+    """Name-indexed registry of the paper's runnable artifacts."""
+
+    def __init__(self) -> None:
+        self._experiments: Dict[str, Experiment] = {}
+
+    def register(self, experiment: Experiment) -> Experiment:
+        if experiment.id in self._experiments:
+            raise ValueError(f"experiment {experiment.id!r} already registered")
+        self._experiments[experiment.id] = experiment
+        return experiment
+
+    def get(self, experiment_id: str) -> Experiment:
+        """Look up an experiment; a miss names every valid id."""
+        try:
+            return self._experiments[experiment_id]
+        except KeyError:
+            raise KeyError(
+                f"unknown experiment {experiment_id!r}; "
+                f"known: {sorted(self._experiments)}"
+            ) from None
+
+    def list(self) -> List[str]:
+        """All registered experiment ids, in registration order."""
+        return list(self._experiments)
+
+    def __iter__(self) -> Iterator[Experiment]:
+        return iter(self._experiments.values())
+
+    def __contains__(self, experiment_id: str) -> bool:
+        return experiment_id in self._experiments
+
+    def __len__(self) -> int:
+        return len(self._experiments)
 
 
 def _run_figure3(**kwargs: Any) -> Dict[str, Any]:
@@ -147,9 +211,8 @@ def _run_headlines(**kwargs: Any) -> Dict[str, Any]:
     }
 
 
-EXPERIMENTS: Dict[str, Experiment] = {
-    e.id: e
-    for e in [
+REGISTRY = ExperimentRegistry()
+for _experiment in [
         Experiment(
             id="figure-3",
             title="Peak temperature vs Cu-metal and bond-layer conductivity",
@@ -240,21 +303,63 @@ EXPERIMENTS: Dict[str, Experiment] = {
             },
             run=_run_headlines,
         ),
-    ]
-}
+]:
+    REGISTRY.register(_experiment)
+
+#: Backward-compatible dict view of the registry.
+EXPERIMENTS: Dict[str, Experiment] = {e.id: e for e in REGISTRY}
 
 
 def get_experiment(experiment_id: str) -> Experiment:
     """Look up an experiment by its paper artifact id."""
-    try:
-        return EXPERIMENTS[experiment_id]
-    except KeyError:
-        raise KeyError(
-            f"unknown experiment {experiment_id!r}; "
-            f"known: {sorted(EXPERIMENTS)}"
-        ) from None
+    return REGISTRY.get(experiment_id)
 
 
 def list_experiments() -> List[str]:
     """All registered experiment ids."""
-    return list(EXPERIMENTS)
+    return REGISTRY.list()
+
+
+def run_experiment(
+    experiment_id: str,
+    strict: bool = False,
+    registry: Optional[ExperimentRegistry] = None,
+    **kwargs: Any,
+) -> ExperimentOutcome:
+    """Run one experiment inside a run guard.
+
+    On success the outcome carries the measured values; on failure it
+    carries the structured error (class name + message) and whatever
+    partial results the failing engine attached to its
+    :class:`~repro.resilience.errors.ReproError`, so a long study that
+    dies three figures in still reports the first two.
+
+    Args:
+        experiment_id: Registered artifact id (see :func:`list_experiments`).
+        strict: If True, re-raise the failure instead of capturing it
+            (lookup errors for unknown ids always raise).
+        registry: Registry to resolve the id against (the module-level
+            :data:`REGISTRY` by default).
+        **kwargs: Forwarded to the experiment's ``run`` callable.
+    """
+    experiment = (registry or REGISTRY).get(experiment_id)
+    start = time.perf_counter()
+    try:
+        result = experiment.run(**kwargs)
+    except Exception as exc:
+        if strict:
+            raise
+        return ExperimentOutcome(
+            experiment_id=experiment_id,
+            ok=False,
+            error=f"{exc}" or traceback.format_exc(limit=1).strip(),
+            error_type=type(exc).__name__,
+            partial=dict(exc.partial) if isinstance(exc, ReproError) else {},
+            elapsed_s=time.perf_counter() - start,
+        )
+    return ExperimentOutcome(
+        experiment_id=experiment_id,
+        ok=True,
+        result=result,
+        elapsed_s=time.perf_counter() - start,
+    )

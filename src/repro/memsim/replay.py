@@ -12,17 +12,32 @@ waits for (a) the completion of the record it depends on and (b) a free
 MSHR if it misses the L1 while the cpu already has its maximum number of
 misses outstanding.  CPMA — cycles per memory access — is the paper's
 metric: total elapsed cycles divided by references retired per cpu.
+
+The engine is the stateful :class:`TraceReplayer`: records are fed one
+at a time, the full replay state (hierarchy, queues, completion table,
+statistics) can be checkpointed to disk at any record boundary, and a
+fresh replayer restored from that checkpoint continues the run
+bit-identically.  An optional
+:class:`~repro.resilience.guards.TraceGuard` validates the stream as it
+flows: strict mode raises
+:class:`~repro.resilience.errors.TraceCorruptionError` on the first bad
+record, lenient mode quarantines bad records and reports counts.
+:func:`replay_trace` remains the one-shot convenience wrapper.
 """
 
 from __future__ import annotations
 
+import itertools
 from bisect import insort
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
 
 from repro.memsim.config import HierarchyConfig
 from repro.memsim.hierarchy import L1, MemoryHierarchy
+from repro.resilience.checkpoint import load_checkpoint, save_checkpoint
+from repro.resilience.guards import TraceGuard
 from repro.traces.record import AccessType, TraceRecord
 
 #: Completion-table pruning: drop entries this many uids behind the head.
@@ -48,6 +63,9 @@ class ReplayStats:
             cycles (where the cycles per access actually go).
         offchip_fraction: Fraction of references that crossed the bus.
         invalidations: Coherence invalidations between the private L1s.
+        quarantined: Records rejected by a lenient trace guard (0 when
+            no guard was active or the stream was clean).
+        quarantined_by_reason: Rejection counts keyed by violation tag.
     """
 
     n_accesses: int
@@ -60,73 +78,75 @@ class ReplayStats:
     level_latency: Dict[str, float] = field(default_factory=dict)
     offchip_fraction: float = 0.0
     invalidations: int = 0
+    quarantined: int = 0
+    quarantined_by_reason: Dict[str, int] = field(default_factory=dict)
 
 
-def replay_trace(
-    records: Iterable[TraceRecord],
-    config: Optional[HierarchyConfig] = None,
-    hierarchy: Optional[MemoryHierarchy] = None,
-    warmup_fraction: float = 0.3,
-    n_records_hint: Optional[int] = None,
-) -> ReplayStats:
-    """Replay a trace and measure CPMA, bandwidth, and bus power.
+class TraceReplayer:
+    """Incremental, checkpointable replay of one trace.
+
+    Feed records with :meth:`feed` (or :meth:`feed_many`), then call
+    :meth:`stats` to finalize.  The replayer's entire state is plain
+    Python/numpy data, so :meth:`checkpoint` can serialize it mid-run
+    and :meth:`restore` continues exactly where the snapshot was taken.
 
     Args:
-        records: The trace (any iterable of :class:`TraceRecord`).
         config: Hierarchy configuration (Table 3 baseline by default).
-        hierarchy: A pre-built hierarchy to use instead of *config*
-            (useful for warmed or instrumented instances).
-        warmup_fraction: Leading fraction of the trace used to warm the
-            caches; its statistics are discarded, mirroring the paper's
-            skipping of each benchmark's initialization phase.
-        n_records_hint: Length of *records* if it is a generator (needed
-            to place the warmup boundary; ignored for sized iterables).
-
-    Returns:
-        A :class:`ReplayStats`.
+        hierarchy: A pre-built hierarchy to use instead of *config*.
+        warmup_until: Number of leading records whose statistics are
+            discarded (cache warmup); 0 disables warmup.
+        guard: Optional trace-stream validator; in lenient mode rejected
+            records are skipped and tallied.
     """
-    if hierarchy is None:
-        hierarchy = MemoryHierarchy(config or HierarchyConfig())
-    if not 0.0 <= warmup_fraction < 1.0:
-        raise ValueError("warmup_fraction must be in [0, 1)")
 
-    try:
-        total = len(records)  # type: ignore[arg-type]
-    except TypeError:
-        total = n_records_hint
-    warmup_until = int(total * warmup_fraction) if total else 0
+    def __init__(
+        self,
+        config: Optional[HierarchyConfig] = None,
+        hierarchy: Optional[MemoryHierarchy] = None,
+        warmup_until: int = 0,
+        guard: Optional[TraceGuard] = None,
+    ) -> None:
+        self.hierarchy = hierarchy or MemoryHierarchy(
+            config or HierarchyConfig()
+        )
+        self.warmup_until = warmup_until
+        self.guard = guard
+        n_cpus = self.hierarchy.config.n_cpus
+        self.index = 0  # records consumed (fed), including quarantined
+        self._next_free = [0.0] * n_cpus
+        self._outstanding: List[List[float]] = [[] for _ in range(n_cpus)]
+        self._robs: List[deque] = [deque() for _ in range(n_cpus)]
+        self._completion: Dict[int, float] = {}
+        self._measured = 0
+        self._latency_sum = 0.0
+        self._level_latency_sum: Dict[str, float] = {}
+        self._level_latency_n: Dict[str, int] = {}
+        self._measure_start: Optional[float] = None
+        self._end_time = 0.0
 
-    n_cpus = hierarchy.config.n_cpus
-    mshrs = hierarchy.config.mshrs_per_cpu
-    window = hierarchy.config.reorder_window
-    next_free = [0.0] * n_cpus
-    outstanding: List[List[float]] = [[] for _ in range(n_cpus)]
-    robs: List[deque] = [deque() for _ in range(n_cpus)]
-    completion: Dict[int, float] = {}
+    # -- the per-record hot path ---------------------------------------------
 
-    measured = 0
-    latency_sum = 0.0
-    level_latency_sum: Dict[str, float] = {}
-    level_latency_n: Dict[str, int] = {}
-    measure_start: Optional[float] = None
-    end_time = 0.0
-    is_load = AccessType.LOAD
-    is_store = AccessType.STORE
-    is_ifetch = AccessType.IFETCH
-
-    for i, record in enumerate(records):
+    def feed(self, record: TraceRecord) -> None:
+        """Replay one record (skips it if the guard quarantines it)."""
+        self.index += 1
+        if self.guard is not None and not self.guard.admit(record):
+            self._maybe_end_warmup()
+            return
+        hierarchy = self.hierarchy
+        mshrs = hierarchy.config.mshrs_per_cpu
+        window = hierarchy.config.reorder_window
         cpu = record.cpu
         # Issue slots advance at one reference per cpu per cycle; a
         # reference may *start* later than its slot if its producer has
         # not completed, but it does not hold later independent
         # references back (the paper's replay honors dependencies, not
         # program order).
-        slot = next_free[cpu]
-        next_free[cpu] = slot + 1.0
+        slot = self._next_free[cpu]
+        self._next_free[cpu] = slot + 1.0
         t = slot
         # Finite reorder window: a reference needs a free window slot, so
         # it cannot start until the oldest in-flight reference retires.
-        rob = robs[cpu]
+        rob = self._robs[cpu]
         if len(rob) >= window:
             oldest = rob.popleft()
             if oldest > t:
@@ -135,12 +155,12 @@ def replay_trace(
         # Dependent *loads* wait for their producer (the paper's Ld1/Ld2
         # rule).  Dependent stores drain through the store buffer instead
         # of stalling.
-        if dep >= 0 and record.kind == is_load:
-            dep_done = completion.get(dep)
+        if dep >= 0 and record.kind == AccessType.LOAD:
+            dep_done = self._completion.get(dep)
             if dep_done is not None and dep_done > t:
                 t = dep_done
 
-        misses = outstanding[cpu]
+        misses = self._outstanding[cpu]
         line_present = hierarchy.l1s[cpu].contains(
             record.address >> hierarchy._line_shift
         )
@@ -157,20 +177,22 @@ def replay_trace(
             if done:
                 del misses[:done]
 
-        if record.kind == is_ifetch:
+        if record.kind == AccessType.IFETCH:
             result = hierarchy.ifetch(cpu, record.address, t)
         else:
             result = hierarchy.access(
-                cpu, record.kind == is_store, record.address, t
+                cpu, record.kind == AccessType.STORE, record.address, t
             )
         if result.level != L1:
             insort(misses, result.completion)
-        if record.kind == is_load:
-            completion[record.uid] = result.completion
-            if len(completion) > _PRUNE_EVERY:
+        if record.kind == AccessType.LOAD:
+            self._completion[record.uid] = result.completion
+            if len(self._completion) > _PRUNE_EVERY:
                 cutoff = record.uid - _PRUNE_WINDOW
-                completion = {
-                    uid: done for uid, done in completion.items() if uid >= cutoff
+                self._completion = {
+                    uid: done
+                    for uid, done in self._completion.items()
+                    if uid >= cutoff
                 }
 
         # In-order retirement: a reference retires no earlier than its
@@ -179,47 +201,186 @@ def replay_trace(
         if rob and rob[-1] > retire:
             retire = rob[-1]
         rob.append(retire)
-        if retire > end_time:
-            end_time = retire
+        if retire > self._end_time:
+            self._end_time = retire
 
-        if warmup_until and i + 1 == warmup_until:
-            hierarchy.reset_stats()
-            measure_start = max(
-                max(next_free),
-                max((r[-1] for r in robs if r), default=0.0),
-            )
-            measured = 0
-            latency_sum = 0.0
-            level_latency_sum.clear()
-            level_latency_n.clear()
-        elif i + 1 > warmup_until or not warmup_until:
-            measured += 1
+        if not self._maybe_end_warmup():
+            self._measured += 1
             latency = result.completion - t
-            latency_sum += latency
+            self._latency_sum += latency
             level = result.level
-            level_latency_sum[level] = (
-                level_latency_sum.get(level, 0.0) + latency
+            self._level_latency_sum[level] = (
+                self._level_latency_sum.get(level, 0.0) + latency
             )
-            level_latency_n[level] = level_latency_n.get(level, 0) + 1
+            self._level_latency_n[level] = (
+                self._level_latency_n.get(level, 0) + 1
+            )
 
-    if measured == 0:
-        raise ValueError("trace produced no measured references")
-    start = measure_start or 0.0
-    wall = max(end_time - start, 1.0)
-    per_cpu_refs = measured / n_cpus
-    clock = hierarchy.config.core_clock_ghz
-    return ReplayStats(
-        n_accesses=measured,
-        cpma=wall / per_cpu_refs,
-        avg_latency=latency_sum / measured,
-        wall_cycles=wall,
-        bandwidth_gbps=hierarchy.bus.bandwidth_gbps(wall, clock),
-        bus_power_w=hierarchy.bus.power_w(wall, clock),
-        level_counts=dict(hierarchy.level_counts),
-        level_latency={
-            level: level_latency_sum[level] / count
-            for level, count in level_latency_n.items()
-        },
-        offchip_fraction=hierarchy.offchip_fraction(),
-        invalidations=hierarchy.invalidations,
+    def _maybe_end_warmup(self) -> bool:
+        """Handle the warmup boundary; True while still inside warmup."""
+        if not self.warmup_until:
+            return False
+        if self.index == self.warmup_until:
+            self.hierarchy.reset_stats()
+            self._measure_start = max(
+                max(self._next_free),
+                max((r[-1] for r in self._robs if r), default=0.0),
+            )
+            self._measured = 0
+            self._latency_sum = 0.0
+            self._level_latency_sum.clear()
+            self._level_latency_n.clear()
+            return True
+        return self.index < self.warmup_until
+
+    def feed_many(
+        self,
+        records: Iterable[TraceRecord],
+        checkpoint_every: Optional[int] = None,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        stop_after: Optional[int] = None,
+    ) -> int:
+        """Feed a stream of records; returns how many were consumed.
+
+        Args:
+            records: The stream (must start at this replayer's current
+                position — use :func:`itertools.islice` or re-read the
+                trace file when resuming).
+            checkpoint_every: Snapshot state every this many records.
+            checkpoint_path: Where snapshots go (required with
+                *checkpoint_every*).
+            stop_after: Stop after consuming this many records from
+                *records* (simulates an interruption; used by tests).
+        """
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise ValueError("checkpoint_every must be >= 1")
+            if checkpoint_path is None:
+                raise ValueError("checkpoint_every requires checkpoint_path")
+        consumed = 0
+        for record in records:
+            self.feed(record)
+            consumed += 1
+            if checkpoint_every and consumed % checkpoint_every == 0:
+                self.checkpoint(checkpoint_path)
+            if stop_after is not None and consumed >= stop_after:
+                break
+        return consumed
+
+    # -- finalization --------------------------------------------------------
+
+    def stats(self) -> ReplayStats:
+        """Finalize the replay into a :class:`ReplayStats`."""
+        if self._measured == 0:
+            raise ValueError("trace produced no measured references")
+        hierarchy = self.hierarchy
+        start = self._measure_start or 0.0
+        wall = max(self._end_time - start, 1.0)
+        per_cpu_refs = self._measured / hierarchy.config.n_cpus
+        clock = hierarchy.config.core_clock_ghz
+        return ReplayStats(
+            n_accesses=self._measured,
+            cpma=wall / per_cpu_refs,
+            avg_latency=self._latency_sum / self._measured,
+            wall_cycles=wall,
+            bandwidth_gbps=hierarchy.bus.bandwidth_gbps(wall, clock),
+            bus_power_w=hierarchy.bus.power_w(wall, clock),
+            level_counts=dict(hierarchy.level_counts),
+            level_latency={
+                level: self._level_latency_sum[level] / count
+                for level, count in self._level_latency_n.items()
+            },
+            offchip_fraction=hierarchy.offchip_fraction(),
+            invalidations=hierarchy.invalidations,
+            quarantined=self.guard.quarantined if self.guard else 0,
+            quarantined_by_reason=(
+                dict(self.guard.quarantined_by_reason) if self.guard else {}
+            ),
+        )
+
+    # -- checkpoint/resume ---------------------------------------------------
+
+    def checkpoint(self, path: Union[str, Path]) -> Path:
+        """Snapshot the full replay state to *path* (atomic write)."""
+        return save_checkpoint(
+            "replay", {"replayer": self, "index": self.index}, path
+        )
+
+    @classmethod
+    def restore(cls, path: Union[str, Path]) -> "TraceReplayer":
+        """Rebuild a replayer from a :meth:`checkpoint` snapshot.
+
+        The caller must re-feed the trace starting at record
+        ``replayer.index`` (earlier records are already accounted for).
+        """
+        state = load_checkpoint(path, kind="replay")
+        return state["replayer"]
+
+
+def replay_trace(
+    records: Iterable[TraceRecord],
+    config: Optional[HierarchyConfig] = None,
+    hierarchy: Optional[MemoryHierarchy] = None,
+    warmup_fraction: float = 0.3,
+    n_records_hint: Optional[int] = None,
+    mode: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_path: Optional[Union[str, Path]] = None,
+    resume_from: Optional[Union[str, Path]] = None,
+) -> ReplayStats:
+    """Replay a trace and measure CPMA, bandwidth, and bus power.
+
+    Args:
+        records: The trace (any iterable of :class:`TraceRecord`).
+        config: Hierarchy configuration (Table 3 baseline by default).
+        hierarchy: A pre-built hierarchy to use instead of *config*
+            (useful for warmed or instrumented instances).
+        warmup_fraction: Leading fraction of the trace used to warm the
+            caches; its statistics are discarded, mirroring the paper's
+            skipping of each benchmark's initialization phase.
+        n_records_hint: Length of *records* if it is a generator (needed
+            to place the warmup boundary; ignored for sized iterables).
+        mode: ``"strict"`` validates every record and raises
+            :class:`~repro.resilience.errors.TraceCorruptionError` on
+            the first violation; ``"lenient"`` quarantines bad records
+            and reports counts in the stats; ``None`` (default) replays
+            unvalidated, trusting construction-time checks.
+        checkpoint_every: Snapshot replay state every this many records
+            (requires *checkpoint_path*).
+        checkpoint_path: Snapshot destination.
+        resume_from: Resume from a snapshot written by an earlier
+            (interrupted) run over the same *records* stream.
+
+    Returns:
+        A :class:`ReplayStats`.
+    """
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ValueError("warmup_fraction must be in [0, 1)")
+    if mode not in (None, "strict", "lenient"):
+        raise ValueError(f"mode must be 'strict' or 'lenient', got {mode!r}")
+
+    if resume_from is not None:
+        replayer = TraceReplayer.restore(resume_from)
+        records = itertools.islice(iter(records), replayer.index, None)
+    else:
+        try:
+            total = len(records)  # type: ignore[arg-type]
+        except TypeError:
+            total = n_records_hint
+        warmup_until = int(total * warmup_fraction) if total else 0
+        if hierarchy is None:
+            hierarchy = MemoryHierarchy(config or HierarchyConfig())
+        guard = (
+            TraceGuard(n_cpus=hierarchy.config.n_cpus, strict=mode == "strict")
+            if mode is not None
+            else None
+        )
+        replayer = TraceReplayer(
+            hierarchy=hierarchy, warmup_until=warmup_until, guard=guard
+        )
+    replayer.feed_many(
+        records,
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=checkpoint_path,
     )
+    return replayer.stats()

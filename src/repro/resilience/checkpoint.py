@@ -1,0 +1,87 @@
+"""Checkpoint files for interruptible simulator runs.
+
+A checkpoint is a pickled envelope ``{magic, version, kind, state}``
+written atomically (temp file + rename) so an interruption mid-write
+never destroys the previous good checkpoint.  ``kind`` tags which engine
+wrote it (``"replay"`` or ``"transient"``); loading with a mismatched
+kind, a truncated file, or a foreign format raises
+:class:`~repro.resilience.errors.CheckpointError` instead of handing the
+engine a garbage state.
+
+Checkpoints are trusted local files produced by the same codebase (they
+use :mod:`pickle`); do not load checkpoints from untrusted sources.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.resilience.errors import CheckpointError
+
+#: Identifies a file as one of ours before unpickling the payload.
+MAGIC = b"REPRO-CKPT"
+#: Envelope format version; bump on incompatible layout changes.
+VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def save_checkpoint(kind: str, state: Dict[str, Any], path: PathLike) -> Path:
+    """Atomically write *state* as a *kind* checkpoint; returns the path."""
+    path = Path(path)
+    envelope = {"version": VERSION, "kind": kind, "state": state}
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(MAGIC)
+            pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except OSError as exc:
+        tmp.unlink(missing_ok=True)
+        raise CheckpointError(f"cannot write checkpoint {path}: {exc}") from exc
+    return path
+
+
+def load_checkpoint(path: PathLike, kind: str) -> Dict[str, Any]:
+    """Read a checkpoint of the given *kind*; returns its state dict.
+
+    Raises:
+        CheckpointError: missing file, foreign/truncated content, wrong
+            kind, or incompatible version.
+    """
+    path = Path(path)
+    try:
+        with open(path, "rb") as handle:
+            magic = handle.read(len(MAGIC))
+            if magic != MAGIC:
+                raise CheckpointError(
+                    f"{path} is not a repro checkpoint (bad magic)"
+                )
+            try:
+                envelope = pickle.load(handle)
+            except Exception as exc:  # truncated or corrupt pickle stream
+                raise CheckpointError(
+                    f"{path} is truncated or corrupt: {exc}"
+                ) from exc
+    except FileNotFoundError as exc:
+        raise CheckpointError(f"checkpoint {path} does not exist") from exc
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    if not isinstance(envelope, dict) or "state" not in envelope:
+        raise CheckpointError(f"{path} has no state payload")
+    if envelope.get("version") != VERSION:
+        raise CheckpointError(
+            f"{path} has checkpoint version {envelope.get('version')}, "
+            f"this build reads version {VERSION}"
+        )
+    if envelope.get("kind") != kind:
+        raise CheckpointError(
+            f"{path} is a {envelope.get('kind')!r} checkpoint, "
+            f"expected {kind!r}"
+        )
+    return envelope["state"]

@@ -1,0 +1,176 @@
+"""Deterministic, seeded fault injection for the three engines.
+
+The injector produces the failure modes the resilience subsystem claims
+to survive, so tests can prove every degradation path actually engages:
+
+* **Trace corruption** — rewrite a fraction of records with invalid
+  fields (negative addresses, forward/self dependencies, bad cpu ids,
+  uid regressions), bypassing :class:`TraceRecord` construction-time
+  validation the way a truncated or bit-flipped trace file would.
+* **Dropped dependencies** — silently remove producer records from the
+  stream, leaving consumers pointing at uids that never complete.
+* **Power-map perturbation** — inject NaN or negative spikes into power
+  arrays to trip the power-map guard.
+* **Forced solver failures** — a stage budget consulted by the fallback
+  ladder in :mod:`repro.resilience.policy`, so "LU failed" can be
+  simulated without manufacturing a singular matrix.
+
+Everything is driven by one seeded :class:`random.Random`, so a given
+``(seed, rates)`` configuration injects the identical fault sequence on
+every run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Iterator, Optional
+
+import numpy as np
+
+from repro.traces.record import AccessType, NO_DEP, TraceRecord
+
+#: Corruption modes :meth:`FaultInjector.corrupt_record` cycles through.
+CORRUPTION_MODES = (
+    "negative-address",
+    "forward-dep",
+    "self-dep",
+    "bad-cpu",
+    "uid-regression",
+)
+
+
+def make_raw_record(
+    uid: int,
+    cpu: int,
+    kind: AccessType,
+    address: int,
+    ip: int,
+    dep_uid: int = NO_DEP,
+) -> TraceRecord:
+    """Build a TraceRecord bypassing ``__post_init__`` validation.
+
+    Only for fault injection and tests: this is how invalid records
+    "from disk" are modeled now that construction validates eagerly.
+    """
+    record = object.__new__(TraceRecord)
+    object.__setattr__(record, "uid", uid)
+    object.__setattr__(record, "cpu", cpu)
+    object.__setattr__(record, "kind", kind)
+    object.__setattr__(record, "address", address)
+    object.__setattr__(record, "ip", ip)
+    object.__setattr__(record, "dep_uid", dep_uid)
+    return record
+
+
+class FaultInjector:
+    """Seeded source of deterministic simulator faults.
+
+    Args:
+        seed: RNG seed; identical seeds inject identical faults.
+        record_corruption_rate: Probability of corrupting each record in
+            :meth:`corrupt_trace`.
+        dependency_drop_rate: Probability of dropping each *load* record
+            in :meth:`drop_producers`.
+        power_fault_rate: Probability of perturbing each element in
+            :meth:`perturb_power`.
+        forced_failures: Map of ladder stage name (``"lu"``, ``"cg"``,
+            ``"coarse"``, ``"transient"``) to how many times that stage
+            must fail; -1 means fail every time.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        record_corruption_rate: float = 0.0,
+        dependency_drop_rate: float = 0.0,
+        power_fault_rate: float = 0.0,
+        forced_failures: Optional[Dict[str, int]] = None,
+    ) -> None:
+        for name, rate in (
+            ("record_corruption_rate", record_corruption_rate),
+            ("dependency_drop_rate", dependency_drop_rate),
+            ("power_fault_rate", power_fault_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        self._rng = random.Random(seed)
+        self.record_corruption_rate = record_corruption_rate
+        self.dependency_drop_rate = dependency_drop_rate
+        self.power_fault_rate = power_fault_rate
+        self.forced_failures = dict(forced_failures or {})
+        self.injected: Dict[str, int] = {}
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _note(self, what: str) -> None:
+        self.injected[what] = self.injected.get(what, 0) + 1
+
+    # -- forced solver failures ----------------------------------------------
+
+    def should_fail(self, stage: str) -> bool:
+        """Consume one forced failure for *stage*, if any remain."""
+        remaining = self.forced_failures.get(stage, 0)
+        if remaining == 0:
+            return False
+        if remaining > 0:
+            self.forced_failures[stage] = remaining - 1
+        self._note(f"forced:{stage}")
+        return True
+
+    # -- trace faults --------------------------------------------------------
+
+    def corrupt_record(self, record: TraceRecord) -> TraceRecord:
+        """Return a corrupted copy of *record* (random corruption mode)."""
+        mode = self._rng.choice(CORRUPTION_MODES)
+        self._note(f"corrupt:{mode}")
+        uid, cpu, addr, dep = record.uid, record.cpu, record.address, record.dep_uid
+        if mode == "negative-address":
+            addr = -abs(record.address) - 1
+        elif mode == "forward-dep":
+            dep = record.uid + self._rng.randint(1, 1000)
+        elif mode == "self-dep":
+            dep = record.uid
+        elif mode == "bad-cpu":
+            cpu = -1 if self._rng.random() < 0.5 else cpu + 4096
+        elif mode == "uid-regression":
+            uid = -record.uid - 1
+        return make_raw_record(uid, cpu, record.kind, addr, record.ip, dep)
+
+    def corrupt_trace(
+        self, records: Iterable[TraceRecord]
+    ) -> Iterator[TraceRecord]:
+        """Yield *records* with a fraction corrupted in place."""
+        rate = self.record_corruption_rate
+        for record in records:
+            if rate and self._rng.random() < rate:
+                yield self.corrupt_record(record)
+            else:
+                yield record
+
+    def drop_producers(
+        self, records: Iterable[TraceRecord]
+    ) -> Iterator[TraceRecord]:
+        """Yield *records* minus a fraction of loads (dangling deps remain)."""
+        rate = self.dependency_drop_rate
+        for record in records:
+            if rate and record.is_load and self._rng.random() < rate:
+                self._note("dropped-producer")
+                continue
+            yield record
+
+    # -- thermal faults ------------------------------------------------------
+
+    def perturb_power(self, power: np.ndarray) -> np.ndarray:
+        """Copy of *power* with NaN / negative spikes injected."""
+        out = np.array(power, dtype=float, copy=True)
+        flat = out.ravel()
+        rate = self.power_fault_rate
+        for i in range(flat.size):
+            if rate and self._rng.random() < rate:
+                if self._rng.random() < 0.5:
+                    flat[i] = float("nan")
+                    self._note("power:nan")
+                else:
+                    flat[i] = -abs(flat[i]) - 1.0
+                    self._note("power:negative")
+        return out

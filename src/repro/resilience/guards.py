@@ -1,0 +1,205 @@
+"""Run guards: validate engine outputs and trace streams.
+
+Two families:
+
+* **Solver guards** — pure functions over numpy arrays that check the
+  thermal engines' outputs: everything finite, temperatures within
+  physically plausible bounds, relative residual ``||Ax - b|| / ||b||``
+  under tolerance, power maps non-negative.  Each raises a structured
+  error from :mod:`repro.resilience.errors` on violation and returns the
+  checked quantity otherwise, so they compose inline on hot paths.
+
+* **TraceGuard** — a stateful per-stream validator for trace replay.
+  In ``strict`` mode the first bad record raises
+  :class:`TraceCorruptionError`; in ``lenient`` mode bad records are
+  quarantined (skipped) and counted by violation reason, so a
+  multi-million-record run survives isolated corruption and reports
+  exactly what it dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.resilience.errors import (
+    GuardViolation,
+    SolverDivergenceError,
+    TraceCorruptionError,
+)
+from repro.traces.record import AccessType, NO_DEP, TraceRecord
+
+#: Default physically-plausible temperature window, Celsius.  Silicon
+#: dies melt far above 400 C and the package cannot cool below deep
+#: freezer temperatures; anything outside this window is solver garbage.
+TEMP_MIN_C = -60.0
+TEMP_MAX_C = 400.0
+
+#: Default relative-residual tolerance for a direct solve of the SPD
+#: finite-volume system (double precision should reach ~1e-12; 1e-6
+#: leaves headroom for ill-conditioned fault-injected systems).
+RESIDUAL_TOL = 1e-6
+
+
+# -- solver guards -----------------------------------------------------------
+
+
+def check_finite(values: np.ndarray, what: str = "field") -> np.ndarray:
+    """Raise :class:`SolverDivergenceError` if *values* has NaN/inf."""
+    values = np.asarray(values)
+    if not np.all(np.isfinite(values)):
+        bad = int(np.size(values) - np.count_nonzero(np.isfinite(values)))
+        raise SolverDivergenceError(
+            f"{what} contains {bad} non-finite value(s)"
+        )
+    return values
+
+
+def check_temperature_bounds(
+    temperature: np.ndarray,
+    lo_c: float = TEMP_MIN_C,
+    hi_c: float = TEMP_MAX_C,
+    what: str = "temperature field",
+) -> np.ndarray:
+    """Raise :class:`GuardViolation` on physically implausible temperatures."""
+    temperature = check_finite(temperature, what)
+    t_min = float(temperature.min())
+    t_max = float(temperature.max())
+    if t_min < lo_c or t_max > hi_c:
+        raise GuardViolation(
+            f"{what} outside plausible bounds: range "
+            f"[{t_min:.1f}, {t_max:.1f}] C vs allowed [{lo_c:.0f}, {hi_c:.0f}] C",
+            guard="temperature-bounds",
+        )
+    return temperature
+
+
+def relative_residual(matrix, x: np.ndarray, rhs: np.ndarray) -> float:
+    """Relative residual ``||Ax - b|| / ||b||`` of a candidate solution."""
+    x = np.asarray(x, dtype=float)
+    rhs = np.asarray(rhs, dtype=float)
+    norm_b = float(np.linalg.norm(rhs))
+    if norm_b == 0.0:
+        return float(np.linalg.norm(matrix @ x))
+    if not np.all(np.isfinite(x)):
+        return float("inf")
+    return float(np.linalg.norm(matrix @ x - rhs) / norm_b)
+
+
+def check_residual(
+    matrix,
+    x: np.ndarray,
+    rhs: np.ndarray,
+    tol: float = RESIDUAL_TOL,
+    method: str = "lu",
+) -> float:
+    """Compute the relative residual; raise on NaN output or residual > tol."""
+    if not np.all(np.isfinite(np.asarray(x))):
+        raise SolverDivergenceError(
+            f"{method} solve produced non-finite output", method=method
+        )
+    residual = relative_residual(matrix, x, rhs)
+    if not residual <= tol:
+        raise SolverDivergenceError(
+            f"{method} solve residual {residual:.3e} exceeds tolerance {tol:.1e}",
+            residual=residual,
+            method=method,
+        )
+    return residual
+
+
+def check_power_map(power: np.ndarray, what: str = "power map") -> np.ndarray:
+    """Raise :class:`GuardViolation` on negative or non-finite power."""
+    power = np.asarray(power)
+    if not np.all(np.isfinite(power)):
+        raise GuardViolation(
+            f"{what} contains non-finite power", guard="power-map"
+        )
+    p_min = float(power.min()) if power.size else 0.0
+    if p_min < 0.0:
+        raise GuardViolation(
+            f"{what} contains negative power ({p_min:.3g} W)",
+            guard="power-map",
+        )
+    return power
+
+
+# -- trace-stream guard ------------------------------------------------------
+
+_VALID_KINDS = frozenset(int(k) for k in AccessType)
+
+
+@dataclass
+class TraceGuard:
+    """Stateful validator for one replayed trace stream.
+
+    Checks per record: uid strictly increases over the stream, the
+    dependency (if any) names a strictly earlier record, the cpu id is
+    within the simulated machine, the access kind is known, and the
+    address is non-negative.
+
+    Attributes:
+        n_cpus: Number of cpus in the target hierarchy; records naming
+            other cpus are invalid.
+        strict: If True, the first violation raises
+            :class:`TraceCorruptionError`.  If False (lenient), bad
+            records are quarantined: :meth:`admit` returns False and the
+            violation is tallied in :attr:`quarantined_by_reason`.
+        checked: Records inspected so far.
+        quarantined: Records rejected so far (lenient mode only).
+    """
+
+    n_cpus: int
+    strict: bool = True
+    checked: int = 0
+    quarantined: int = 0
+    last_uid: int = -1
+    quarantined_by_reason: Dict[str, int] = field(default_factory=dict)
+
+    def admit(self, record: TraceRecord) -> bool:
+        """Validate one record; True to replay it, False to quarantine."""
+        self.checked += 1
+        reason = self._violation(record)
+        if reason is None:
+            self.last_uid = record.uid
+            return True
+        if self.strict:
+            raise TraceCorruptionError(
+                f"record uid={record.uid}: {reason} "
+                f"(cpu={record.cpu}, dep_uid={record.dep_uid})",
+                uid=record.uid,
+                reason=reason,
+            )
+        self.quarantined += 1
+        self.quarantined_by_reason[reason] = (
+            self.quarantined_by_reason.get(reason, 0) + 1
+        )
+        return False
+
+    def _violation(self, record: TraceRecord) -> Optional[str]:
+        if record.uid < 0 or record.uid <= self.last_uid:
+            return "non-monotonic-uid"
+        if not 0 <= record.cpu < self.n_cpus:
+            return "bad-cpu"
+        if int(record.kind) not in _VALID_KINDS:
+            return "bad-kind"
+        if record.address < 0:
+            return "bad-address"
+        if record.dep_uid != NO_DEP:
+            if record.dep_uid == record.uid:
+                return "self-dep"
+            if record.dep_uid > record.uid:
+                return "forward-dep"
+            if record.dep_uid < 0:
+                return "bad-dep"
+        return None
+
+    def report(self) -> Dict[str, int]:
+        """Summary counts, suitable for logging or ReplayStats."""
+        return {
+            "checked": self.checked,
+            "quarantined": self.quarantined,
+            **{f"quarantined:{r}": n for r, n in self.quarantined_by_reason.items()},
+        }

@@ -24,6 +24,8 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro.resilience.errors import GuardViolation, SolverDivergenceError
+from repro.resilience.guards import relative_residual
 from repro.thermal.materials import AMBIENT_C, HEATSINK_H_EFF, MOTHERBOARD_H
 from repro.thermal.stack import ThermalStack
 
@@ -67,6 +69,12 @@ class ThermalSolution:
         layer_planes: Maps layer name to its ``(z_start, z_end)`` plane
             range (end exclusive).
         die_region: ``(j0, j1, i0, i1)`` cell bounds of the die footprint.
+        residual: Relative residual ``||Ax - b|| / ||b||`` of the linear
+            solve that produced this field.
+        method: Solver that produced it (``"lu"``, ``"cg"``, or a
+            ``*-coarse`` fallback rung).
+        degraded: True if a fallback rung solved a coarser grid than was
+            requested (see :mod:`repro.resilience.policy`).
     """
 
     temperature: np.ndarray
@@ -75,6 +83,9 @@ class ThermalSolution:
     layer_planes: Dict[str, Tuple[int, int]]
     die_region: Tuple[int, int, int, int]
     _die_layer_names: List[str] = field(default_factory=list)
+    residual: float = 0.0
+    method: str = "lu"
+    degraded: bool = False
 
     # -- queries -----------------------------------------------------------
 
@@ -224,6 +235,19 @@ def assemble_system(
         if layer.power_plan is not None:
             raster = layer.power_plan.rasterize(i1 - i0, j1 - j0)
             total = layer.power_plan.total_power
+            # Guard: NaN power used to vanish silently here (NaN > 0 is
+            # False), solving an unpowered stack without complaint.
+            if (
+                not np.all(np.isfinite(raster))
+                or not np.isfinite(total)
+                or (raster.size and raster.min() < 0)
+                or total < 0
+            ):
+                raise GuardViolation(
+                    f"layer {layer.name!r} has a non-finite or negative "
+                    "power map",
+                    guard="power-map",
+                )
             if raster.sum() > 0:
                 q_map[j0:j1, i0:i1] = raster / raster.sum() * total
         layer_planes[layer.name] = (z, z + layer.divisions)
@@ -344,10 +368,28 @@ def solve_steady_state(
             for the paper's desktop package).
 
     Returns:
-        A :class:`ThermalSolution`.
+        A :class:`ThermalSolution` with its :attr:`~ThermalSolution.residual`
+        populated.
+
+    Raises:
+        SolverDivergenceError: the factorization failed or the solve
+            produced non-finite temperatures (previously these escaped
+            as silent garbage fields).
     """
     system = assemble_system(stack, config)
     # The system is SPD; SuperLU with a symmetric minimum-degree ordering
     # is ~4x faster here than the default COLAMD ordering.
-    lu = spla.splu(system.matrix, permc_spec="MMD_AT_PLUS_A")
-    return system.solution_from(lu.solve(system.rhs))
+    try:
+        lu = spla.splu(system.matrix, permc_spec="MMD_AT_PLUS_A")
+    except RuntimeError as exc:
+        raise SolverDivergenceError(
+            f"LU factorization failed: {exc}", method="lu"
+        ) from exc
+    flat = lu.solve(system.rhs)
+    if not np.all(np.isfinite(flat)):
+        raise SolverDivergenceError(
+            "LU solve produced non-finite temperatures", method="lu"
+        )
+    solution = system.solution_from(flat)
+    solution.residual = relative_residual(system.matrix, flat, system.rhs)
+    return solution

@@ -14,17 +14,26 @@ can span the stack's fast (die) and slow (heat sink) time constants.
 Use cases: power-on warm-up curves, power-step response (e.g. a DVFS
 transition from Table 5), and verifying that transients decay to the
 steady solution.
+
+Long integrations can snapshot their state every ``checkpoint_every``
+steps and resume from the latest snapshot after an interruption; each
+step's output is guarded against divergence (non-finite temperatures
+raise :class:`~repro.resilience.errors.SolverDivergenceError` instead of
+silently propagating NaN to the end of the run).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from pathlib import Path
+from typing import Callable, List, Optional, Union
 
 import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro.resilience.checkpoint import load_checkpoint, save_checkpoint
+from repro.resilience.errors import CheckpointError, SolverDivergenceError
 from repro.thermal.solver import (
     SolverConfig,
     ThermalSolution,
@@ -71,6 +80,9 @@ def solve_transient(
     dt_s: float = 0.05,
     initial: Optional[np.ndarray] = None,
     power_schedule: Optional[Callable[[float], float]] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_path: Optional[Union[str, Path]] = None,
+    resume_from: Optional[Union[str, Path]] = None,
 ) -> TransientResult:
     """Integrate the stack's temperature field over time.
 
@@ -84,12 +96,27 @@ def solve_transient(
         power_schedule: Optional multiplier on the dissipated power as a
             function of time (e.g. ``lambda t: 0.66 if t > 5 else 1.0``
             for a DVFS step); boundary (ambient) terms are unaffected.
+        checkpoint_every: Snapshot the integration state every this many
+            steps (requires *checkpoint_path*).
+        checkpoint_path: Where to write snapshots.
+        resume_from: Path of a snapshot written by a previous run of the
+            *same* stack/config/schedule; integration continues from the
+            checkpointed step.
 
     Returns:
         A :class:`TransientResult` sampled at every step.
+
+    Raises:
+        SolverDivergenceError: a step produced non-finite temperatures.
+        CheckpointError: *resume_from* is unusable or incompatible.
     """
     if duration_s <= 0 or dt_s <= 0:
         raise ValueError("duration and time step must be positive")
+    if checkpoint_every is not None:
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if checkpoint_path is None:
+            raise ValueError("checkpoint_every requires checkpoint_path")
     system = assemble_system(stack, config)
     ambient = system.config.ambient_c
 
@@ -114,27 +141,63 @@ def solve_transient(
     else:
         boundary_rhs = system.rhs
 
-    if initial is None:
-        temperature = np.full(n, ambient)
-    else:
-        temperature = np.asarray(initial, dtype=float).reshape(n).copy()
-
-    times: List[float] = [0.0]
-    peaks: List[float] = [
-        float(system.solution_from(temperature).peak_temperature())
-    ]
     steps = int(round(duration_s / dt_s))
-    for step in range(1, steps + 1):
+    if resume_from is not None:
+        state = load_checkpoint(resume_from, kind="transient")
+        if state["n"] != n or state["dt_s"] != dt_s:
+            raise CheckpointError(
+                f"checkpoint {resume_from} was written for n={state['n']}, "
+                f"dt={state['dt_s']}; this run has n={n}, dt={dt_s}"
+            )
+        temperature = np.asarray(state["temperature"], dtype=float)
+        times = list(state["times_s"])
+        peaks = list(state["peak_c"])
+        start_step = int(state["step"]) + 1
+    else:
+        if initial is None:
+            temperature = np.full(n, ambient)
+        else:
+            temperature = np.asarray(initial, dtype=float).reshape(n).copy()
+        if not np.all(np.isfinite(temperature)):
+            raise SolverDivergenceError(
+                "initial temperature field is non-finite", method="transient"
+            )
+        times = [0.0]
+        peaks = [float(system.solution_from(temperature).peak_temperature())]
+        start_step = 1
+
+    for step in range(start_step, steps + 1):
         t_now = step * dt_s
         factor = power_schedule(t_now) if power_schedule else 1.0
         if factor < 0:
             raise ValueError("power schedule must be non-negative")
         rhs = boundary_rhs + factor * power_part + (system.mass / dt_s) * temperature
         temperature = lu.solve(rhs)
+        if not np.all(np.isfinite(temperature)):
+            raise SolverDivergenceError(
+                f"transient step {step} (t={t_now:g} s) produced non-finite "
+                "temperatures",
+                method="transient",
+                partial={"step": step, "times_s": times, "peak_c": peaks},
+            )
         times.append(t_now)
         peaks.append(
             float(system.solution_from(temperature).peak_temperature())
         )
+        if checkpoint_every and step % checkpoint_every == 0:
+            save_checkpoint(
+                "transient",
+                {
+                    "step": step,
+                    "n": n,
+                    "dt_s": dt_s,
+                    "temperature": temperature,
+                    "times_s": times,
+                    "peak_c": peaks,
+                    "stack_name": stack.name,
+                },
+                checkpoint_path,
+            )
     return TransientResult(
         times_s=times,
         peak_c=peaks,

@@ -12,7 +12,9 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator, List, Union
+from typing import Iterable, Iterator, List, Optional, Union
+
+from repro.resilience.errors import TraceCorruptionError
 
 #: Sentinel dependency id for records with no dependency.
 NO_DEP = -1
@@ -49,14 +51,46 @@ class TraceRecord:
     dep_uid: int = NO_DEP
 
     def __post_init__(self) -> None:
+        # Eager validation: a malformed record quietly entering the
+        # replayer can deadlock or corrupt a multi-million-record run,
+        # so reject it at construction.  TraceCorruptionError subclasses
+        # ValueError, preserving older ``except ValueError`` callers.
         if self.uid < 0:
-            raise ValueError(f"uid must be non-negative, got {self.uid}")
+            raise TraceCorruptionError(
+                f"uid must be non-negative, got {self.uid}",
+                uid=self.uid,
+                reason="bad-uid",
+            )
+        if self.cpu < 0:
+            raise TraceCorruptionError(
+                f"record {self.uid}: cpu id must be non-negative, got {self.cpu}",
+                uid=self.uid,
+                reason="bad-cpu",
+            )
+        if not isinstance(self.kind, AccessType):
+            raise TraceCorruptionError(
+                f"record {self.uid}: unknown access kind {self.kind!r}",
+                uid=self.uid,
+                reason="bad-kind",
+            )
         if self.address < 0:
-            raise ValueError(f"address must be non-negative, got {self.address}")
+            raise TraceCorruptionError(
+                f"address must be non-negative, got {self.address}",
+                uid=self.uid,
+                reason="bad-address",
+            )
         if self.dep_uid != NO_DEP and not 0 <= self.dep_uid < self.uid:
-            raise ValueError(
+            if self.dep_uid == self.uid:
+                reason = "self-dep"
+            elif self.dep_uid > self.uid:
+                reason = "forward-dep"
+            else:
+                reason = "bad-dep"
+            raise TraceCorruptionError(
                 f"record {self.uid} depends on {self.dep_uid}, which is not "
-                "an earlier record"
+                "an earlier record",
+                uid=self.uid,
+                reason=reason,
             )
 
     @property
@@ -86,42 +120,77 @@ def write_trace(records: Iterable[TraceRecord], path: Union[str, Path]) -> int:
     return count
 
 
-def read_trace(path: Union[str, Path]) -> Iterator[TraceRecord]:
-    """Stream records back from a file written by :func:`write_trace`."""
+def read_trace(
+    path: Union[str, Path], strict: bool = True
+) -> Iterator[TraceRecord]:
+    """Stream records back from a file written by :func:`write_trace`.
+
+    Args:
+        path: Trace file to read.
+        strict: If True (default), a malformed line raises
+            :class:`~repro.resilience.errors.TraceCorruptionError`
+            naming the file and line.  If False, malformed lines are
+            skipped (the replayer's lenient guard counts them a second
+            time if they parse but violate stream invariants).
+    """
     with open(path) as handle:
         for line_number, line in enumerate(handle, start=1):
             parts = line.split()
-            if len(parts) != 6:
-                raise ValueError(
-                    f"{path}:{line_number}: malformed trace line {line!r}"
+            try:
+                if len(parts) != 6:
+                    raise TraceCorruptionError(
+                        f"malformed trace line {line!r}", reason="bad-line"
+                    )
+                uid, cpu, kind, address, ip, dep = parts
+                record = TraceRecord(
+                    uid=int(uid),
+                    cpu=int(cpu),
+                    kind=AccessType(int(kind)),
+                    address=int(address, 16),
+                    ip=int(ip, 16),
+                    dep_uid=int(dep),
                 )
-            uid, cpu, kind, address, ip, dep = parts
-            yield TraceRecord(
-                uid=int(uid),
-                cpu=int(cpu),
-                kind=AccessType(int(kind)),
-                address=int(address, 16),
-                ip=int(ip, 16),
-                dep_uid=int(dep),
-            )
+            except (TraceCorruptionError, ValueError) as exc:
+                if strict:
+                    reason = getattr(exc, "reason", "bad-line")
+                    raise TraceCorruptionError(
+                        f"{path}:{line_number}: {exc}", reason=reason
+                    ) from exc
+                continue
+            yield record
 
 
-def validate_trace(records: List[TraceRecord]) -> None:
-    """Check global trace invariants; raises ValueError on violation.
+def validate_trace(
+    records: List[TraceRecord], n_cpus: Optional[int] = None
+) -> None:
+    """Check global trace invariants; raises TraceCorruptionError (a
+    ValueError subclass) on violation.
 
-    Invariants: uids strictly increase, and every dependency names an
-    earlier record that exists in the trace.
+    Invariants: uids strictly increase, every dependency names an
+    earlier record that exists in the trace, and — when *n_cpus* is
+    given — every record names a cpu within the simulated machine.
     """
     seen = set()
     last_uid = -1
     for record in records:
         if record.uid <= last_uid:
-            raise ValueError(
-                f"uid {record.uid} does not increase after {last_uid}"
+            raise TraceCorruptionError(
+                f"uid {record.uid} does not increase after {last_uid}",
+                uid=record.uid,
+                reason="non-monotonic-uid",
             )
         if record.has_dependency and record.dep_uid not in seen:
-            raise ValueError(
-                f"record {record.uid} depends on missing uid {record.dep_uid}"
+            raise TraceCorruptionError(
+                f"record {record.uid} depends on missing uid {record.dep_uid}",
+                uid=record.uid,
+                reason="missing-dep",
+            )
+        if n_cpus is not None and not 0 <= record.cpu < n_cpus:
+            raise TraceCorruptionError(
+                f"record {record.uid} names cpu {record.cpu}, machine has "
+                f"{n_cpus}",
+                uid=record.uid,
+                reason="bad-cpu",
             )
         seen.add(record.uid)
         last_uid = record.uid

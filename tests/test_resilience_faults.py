@@ -1,0 +1,111 @@
+"""Fault-injection tests: corruption is deterministic and survivable."""
+
+import numpy as np
+import pytest
+
+from repro.memsim import baseline_config
+from repro.memsim.replay import replay_trace
+from repro.resilience import FaultInjector, TraceCorruptionError
+from repro.traces.generator import generate_trace
+from repro.traces.record import AccessType, TraceRecord
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace("gauss", n_records=8000, seed=9)
+
+
+class TestInjectorDeterminism:
+    def test_same_seed_same_faults(self, trace):
+        a = list(FaultInjector(seed=3, record_corruption_rate=0.02)
+                 .corrupt_trace(trace))
+        b = list(FaultInjector(seed=3, record_corruption_rate=0.02)
+                 .corrupt_trace(trace))
+        assert a == b
+
+    def test_different_seed_different_faults(self, trace):
+        a = list(FaultInjector(seed=3, record_corruption_rate=0.02)
+                 .corrupt_trace(trace))
+        b = list(FaultInjector(seed=4, record_corruption_rate=0.02)
+                 .corrupt_trace(trace))
+        assert a != b
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError, match="record_corruption_rate"):
+            FaultInjector(record_corruption_rate=1.5)
+
+    def test_injection_accounting(self, trace):
+        injector = FaultInjector(seed=1, record_corruption_rate=0.05)
+        corrupted = list(injector.corrupt_trace(trace))
+        n_corrupt = sum(injector.injected.values())
+        assert 0 < n_corrupt < len(trace)
+        assert len(corrupted) == len(trace)
+
+
+class TestCorruptedTraceReplay:
+    def test_lenient_mode_finishes_with_quarantine_count(self, trace):
+        # Acceptance criterion: a corrupted trace in lenient mode
+        # finishes with a nonzero quarantine count...
+        injector = FaultInjector(seed=7, record_corruption_rate=0.01)
+        bad = list(injector.corrupt_trace(trace))
+        stats = replay_trace(
+            bad, baseline_config(), warmup_fraction=0.0, mode="lenient"
+        )
+        assert stats.quarantined > 0
+        assert sum(stats.quarantined_by_reason.values()) == stats.quarantined
+        assert stats.n_accesses == len(trace) - stats.quarantined
+        assert stats.cpma > 0
+
+    def test_strict_mode_raises(self, trace):
+        # ...and in strict mode raises TraceCorruptionError.
+        injector = FaultInjector(seed=7, record_corruption_rate=0.01)
+        bad = list(injector.corrupt_trace(trace))
+        with pytest.raises(TraceCorruptionError):
+            replay_trace(
+                bad, baseline_config(), warmup_fraction=0.0, mode="strict"
+            )
+
+    def test_clean_trace_quarantines_nothing(self, trace):
+        strict = replay_trace(
+            trace, baseline_config(), warmup_fraction=0.0, mode="strict"
+        )
+        unguarded = replay_trace(trace, baseline_config(), warmup_fraction=0.0)
+        assert strict.quarantined == 0
+        assert strict.cpma == pytest.approx(unguarded.cpma, rel=1e-12)
+
+    def test_dropped_producers_do_not_hang_replay(self, trace):
+        # Dangling dep_uids (producer records removed from the stream)
+        # must degrade to "no wait", never deadlock.
+        injector = FaultInjector(seed=5, dependency_drop_rate=0.05)
+        thinned = list(injector.drop_producers(trace))
+        assert len(thinned) < len(trace)
+        stats = replay_trace(
+            thinned, baseline_config(), warmup_fraction=0.0, mode="lenient"
+        )
+        assert stats.n_accesses == len(thinned)
+
+
+class TestPowerPerturbation:
+    def test_perturbation_trips_power_guard(self):
+        from repro.resilience import GuardViolation, check_power_map
+
+        injector = FaultInjector(seed=2, power_fault_rate=0.3)
+        perturbed = injector.perturb_power(np.ones((6, 6)))
+        assert injector.injected  # something was injected at 30% rate
+        with pytest.raises(GuardViolation):
+            check_power_map(perturbed)
+
+    def test_zero_rate_is_identity(self):
+        injector = FaultInjector(seed=2)
+        power = np.linspace(0, 5, 10)
+        np.testing.assert_array_equal(injector.perturb_power(power), power)
+
+
+class TestRawRecordBypass:
+    def test_make_raw_record_skips_validation(self):
+        from repro.resilience import make_raw_record
+
+        bad = make_raw_record(5, -3, AccessType.LOAD, -1, 0, dep_uid=99)
+        assert bad.cpu == -3 and bad.dep_uid == 99
+        with pytest.raises(TraceCorruptionError):
+            TraceRecord(5, -3, AccessType.LOAD, -1, 0, dep_uid=99)

@@ -1,0 +1,132 @@
+"""Fallback-ladder tests: every degradation rung must actually engage."""
+
+import numpy as np
+import pytest
+
+from repro.floorplan.core2duo import core2duo_floorplan
+from repro.resilience import (
+    FaultInjector,
+    GuardViolation,
+    LadderReport,
+    SolverDivergenceError,
+    solve_steady_state_resilient,
+    solve_transient_resilient,
+)
+from repro.thermal.solver import SolverConfig, solve_steady_state
+from repro.thermal.stack import build_planar_stack
+from repro.thermal.transient import solve_transient
+
+
+@pytest.fixture(scope="module")
+def stack():
+    return build_planar_stack(core2duo_floorplan())
+
+
+CFG = SolverConfig(nx=12, ny=12)
+
+
+class TestSteadyLadder:
+    def test_healthy_run_uses_lu(self, stack):
+        report = LadderReport()
+        solution = solve_steady_state_resilient(stack, CFG, report=report)
+        assert solution.method == "lu"
+        assert not solution.degraded
+        assert solution.residual < 1e-8
+        assert report.method == "lu"
+
+    def test_forced_lu_failure_falls_back_to_cg(self, stack):
+        report = LadderReport()
+        injector = FaultInjector(forced_failures={"lu": 1})
+        solution = solve_steady_state_resilient(
+            stack, CFG, injector=injector, report=report
+        )
+        assert solution.method == "cg"
+        assert not solution.degraded
+        # CG solves the same discrete system: temperatures must agree.
+        reference = solve_steady_state(stack, CFG)
+        assert solution.peak_temperature() == pytest.approx(
+            reference.peak_temperature(), abs=1e-3
+        )
+        assert injector.injected["forced:lu"] == 1
+
+    def test_forced_lu_and_cg_failure_degrades_to_coarse(self, stack):
+        report = LadderReport()
+        injector = FaultInjector(forced_failures={"lu": 1, "cg": 1})
+        solution = solve_steady_state_resilient(
+            stack, CFG, injector=injector, report=report
+        )
+        assert solution.degraded is True
+        assert solution.method == "lu-coarse"
+        assert report.degraded is True
+        # Half the lateral resolution, same physics: peak within a few C.
+        assert solution.temperature.shape[1] == CFG.ny // 2
+        reference = solve_steady_state(stack, CFG)
+        assert solution.peak_temperature() == pytest.approx(
+            reference.peak_temperature(), abs=10.0
+        )
+
+    def test_every_rung_failing_raises_with_attempt_log(self, stack):
+        injector = FaultInjector(
+            forced_failures={"lu": 1, "cg": 1, "coarse": -1}
+        )
+        with pytest.raises(SolverDivergenceError) as info:
+            solve_steady_state_resilient(stack, CFG, injector=injector)
+        assert info.value.method == "ladder"
+        assert len(info.value.partial["attempts"]) == 4
+
+    def test_nan_power_is_rejected_not_repaired(self, stack):
+        # A NaN power injection is bad input; no ladder rung can fix it.
+        # (Before the guard, NaN power silently became *zero* power.)
+        bad_plan = core2duo_floorplan().scaled_power(float("nan"))
+        bad_stack = build_planar_stack(bad_plan)
+        with pytest.raises(GuardViolation) as info:
+            solve_steady_state_resilient(bad_stack, CFG)
+        assert info.value.guard == "power-map"
+
+
+class TestSolverGuardsWired:
+    def test_steady_state_records_residual(self, stack):
+        solution = solve_steady_state(stack, CFG)
+        assert 0.0 <= solution.residual < 1e-8
+        assert solution.method == "lu"
+        assert solution.degraded is False
+
+
+class TestTransientResilience:
+    def test_nonfinite_initial_raises(self, stack):
+        from repro.thermal.solver import assemble_system
+
+        n = assemble_system(stack, CFG).matrix.shape[0]
+        with pytest.raises(SolverDivergenceError, match="non-finite"):
+            solve_transient(
+                stack, CFG, duration_s=0.2, dt_s=0.1,
+                initial=np.full(n, np.nan),
+            )
+
+    def test_step_halving_retries_then_succeeds(self, stack):
+        report = LadderReport()
+        injector = FaultInjector(forced_failures={"transient": 2})
+        result = solve_transient_resilient(
+            stack, CFG, duration_s=0.4, dt_s=0.2, max_halvings=3,
+            injector=injector, report=report,
+        )
+        # Two forced failures -> accepted on the third attempt at dt/4.
+        assert report.method == "transient-dt=0.05"
+        assert report.degraded is True
+        assert result.times_s[-1] == pytest.approx(0.4)
+
+    def test_step_halving_exhaustion_raises(self, stack):
+        injector = FaultInjector(forced_failures={"transient": -1})
+        with pytest.raises(SolverDivergenceError, match="halvings"):
+            solve_transient_resilient(
+                stack, CFG, duration_s=0.2, dt_s=0.1, max_halvings=2,
+                injector=injector,
+            )
+
+    def test_healthy_transient_not_degraded(self, stack):
+        report = LadderReport()
+        result = solve_transient_resilient(
+            stack, CFG, duration_s=0.2, dt_s=0.1, report=report
+        )
+        assert report.degraded is False
+        assert len(result.times_s) == 3
