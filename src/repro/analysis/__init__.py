@@ -2,6 +2,7 @@
 
 from repro.analysis.tables import format_table, format_figure5, format_table5
 from repro.analysis.heatmap import ascii_heatmap
+from repro.analysis.campaign import render_campaign_report
 from repro.analysis.compare import ComparisonRow, compare_to_paper
 from repro.analysis.figures import (
     SvgCanvas,
@@ -18,6 +19,7 @@ __all__ = [
     "format_figure5",
     "format_table5",
     "ascii_heatmap",
+    "render_campaign_report",
     "ComparisonRow",
     "compare_to_paper",
     "SvgCanvas",

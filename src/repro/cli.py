@@ -14,6 +14,8 @@ Commands:
   pass/shape/fail against the published values.
 * ``replay`` — replay a trace file through the memory hierarchy with
   strict/lenient validation and optional checkpoint/resume.
+* ``sweep`` — run a campaign of experiments in crash-isolated,
+  supervised workers with timeouts, retries, and a resumable journal.
 """
 
 from __future__ import annotations
@@ -49,9 +51,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         kwargs["nx"] = args.nx
     if args.scale:
         kwargs["scale"] = args.scale
+    # Failures are captured (not raised) so the exit status is always
+    # meaningful for scripting: 0 on success, 1 on failure.  --strict
+    # re-raises for debugging with a full traceback.
     outcome = run_experiment(
-        args.experiment, strict=not args.lenient, **kwargs
+        args.experiment, strict=args.strict, seed=args.seed, **kwargs
     )
+    if args.json:
+        print(json.dumps(outcome.to_dict(), indent=2, default=str))
+        return 0 if outcome.ok else 1
     print(f"{experiment.id}: {experiment.title}")
     print("\npaper values:")
     print(json.dumps(experiment.paper_values, indent=2, default=str))
@@ -60,10 +68,101 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if outcome.partial:
             print("partial results before failure:")
             print(json.dumps(outcome.partial, indent=2, default=str))
+        print(f"\nreproduce: fingerprint {outcome.fingerprint} "
+              f"(seed {outcome.seed}, kwargs {outcome.kwargs})")
         return 1
     print("\nmeasured:")
     print(json.dumps(outcome.result, indent=2, default=str))
     return 0
+
+
+def _parse_chaos_force(specs: List[str]) -> dict:
+    """``mode[:task[:count]]`` flags -> FaultInjector forced_failures."""
+    from repro.resilience.faults import WORKER_FAULT_MODES
+
+    forced = {}
+    for spec in specs:
+        parts = spec.split(":")
+        mode = parts[0]
+        if mode not in WORKER_FAULT_MODES:
+            raise ValueError(
+                f"unknown chaos mode {mode!r}; known: {WORKER_FAULT_MODES}"
+            )
+        count = -1
+        task = ""
+        if len(parts) >= 2 and parts[1]:
+            task = parts[1]
+        if len(parts) >= 3:
+            count = int(parts[2])
+        key = f"worker-{mode}" + (f":{task}" if task else "")
+        forced[key] = count
+    return forced
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.analysis import render_campaign_report
+    from repro.resilience.faults import FaultInjector
+    from repro.runner.supervisor import (
+        CampaignConfig,
+        RetryPolicy,
+        run_campaign,
+    )
+    from repro.runner.tasks import select_tasks
+
+    kwargs = {}
+    if args.nx:
+        kwargs["nx"] = args.nx
+    if args.scale:
+        kwargs["scale"] = args.scale
+    try:
+        tasks = select_tasks(args.experiments, kwargs=kwargs, seed=args.seed)
+        forced = _parse_chaos_force(args.chaos_force or [])
+    except ValueError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
+    if args.resume and not os.path.exists(args.journal):
+        print(f"sweep: --resume given but journal {args.journal!r} "
+              f"does not exist", file=sys.stderr)
+        return 2
+
+    rates = {
+        mode: rate
+        for mode, rate in (
+            ("crash", args.chaos_crash),
+            ("hang", args.chaos_hang),
+            ("corrupt-result", args.chaos_corrupt),
+        )
+        if rate
+    }
+    injector = None
+    if forced or rates:
+        injector = FaultInjector(
+            seed=args.chaos_seed,
+            forced_failures=forced,
+            worker_fault_rates=rates,
+        )
+
+    config = CampaignConfig(
+        workers=args.workers,
+        task_timeout_s=args.timeout,
+        heartbeat_timeout_s=args.heartbeat_timeout,
+        retry=RetryPolicy(max_retries=args.retries),
+        journal_path=args.journal,
+        resume=args.resume,
+        injector=injector,
+    )
+    report = run_campaign(tasks, config)
+    rendered = render_campaign_report(report.to_dict())
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, default=str))
+        print(rendered, file=sys.stderr)
+    else:
+        print(rendered)
+    # 0: all ok; 3: campaign completed but degraded (scripts can tell
+    # "partial failure" from hard errors, which exit 1/2).
+    return 3 if report.degraded else 0
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
@@ -226,9 +325,60 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("experiment", help="experiment id (see 'list')")
     run.add_argument("--nx", type=int, help="thermal grid resolution")
     run.add_argument("--scale", type=int, help="capacity/footprint scale")
+    run.add_argument("--seed", type=int,
+                     help="RNG seed for a bit-for-bit reproducible run")
+    run.add_argument("--json", action="store_true",
+                     help="print the structured outcome (ok/result/error/"
+                          "fingerprint) as JSON")
+    run.add_argument("--strict", action="store_true",
+                     help="re-raise failures with a traceback instead of "
+                          "capturing them")
     run.add_argument("--lenient", action="store_true",
-                     help="capture failures (with partial results) "
-                          "instead of raising")
+                     help=argparse.SUPPRESS)  # former default; kept for compat
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a supervised campaign of experiments in crash-isolated "
+             "workers",
+    )
+    sweep.add_argument("experiments", nargs="*",
+                       help="experiment id globs, e.g. 'figure-*' "
+                            "(default: every registered experiment)")
+    sweep.add_argument("--workers", type=int, default=2,
+                       help="max concurrent worker processes")
+    sweep.add_argument("--timeout", type=float, default=600.0,
+                       help="per-task wall-clock budget in seconds; "
+                            "workers past it are killed")
+    sweep.add_argument("--retries", type=int, default=2,
+                       help="retry budget per task (exponential backoff)")
+    sweep.add_argument("--journal", default="campaign.jsonl",
+                       help="append-only JSONL result journal")
+    sweep.add_argument("--resume", action="store_true",
+                       help="skip tasks with an ok entry in the journal; "
+                            "re-run only failures")
+    sweep.add_argument("--seed", type=int,
+                       help="base RNG seed (task i runs with seed+i)")
+    sweep.add_argument("--nx", type=int, help="thermal grid resolution")
+    sweep.add_argument("--scale", type=int, help="capacity/footprint scale")
+    sweep.add_argument("--heartbeat-timeout", type=float, default=15.0,
+                       help="seconds without a worker heartbeat before "
+                            "it is declared dead and killed")
+    sweep.add_argument("--json", action="store_true",
+                       help="print the campaign report as JSON on stdout "
+                            "(human rendering goes to stderr)")
+    sweep.add_argument("--chaos-seed", type=int, default=0,
+                       help="fault-injection seed (chaos soak)")
+    sweep.add_argument("--chaos-crash", type=float, default=0.0,
+                       metavar="RATE", help="worker crash probability")
+    sweep.add_argument("--chaos-hang", type=float, default=0.0,
+                       metavar="RATE", help="worker hang probability")
+    sweep.add_argument("--chaos-corrupt", type=float, default=0.0,
+                       metavar="RATE",
+                       help="corrupt-result probability")
+    sweep.add_argument("--chaos-force", action="append", metavar="MODE[:TASK[:N]]",
+                       help="force a worker fault: crash|hang|stall|"
+                            "corrupt-result, optionally for one task id, "
+                            "N times (-1 = always)")
 
     replay = sub.add_parser(
         "replay", help="replay a trace file through the memory hierarchy"
@@ -293,6 +443,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figures": _cmd_figures,
         "validate": _cmd_validate,
         "replay": _cmd_replay,
+        "sweep": _cmd_sweep,
     }
     return handlers[args.command](args)
 

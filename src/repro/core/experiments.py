@@ -9,12 +9,35 @@ them next to the published values.
 
 from __future__ import annotations
 
+import hashlib
+import json
+import random
 import time
 import traceback
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
 from repro.resilience.errors import ReproError
+
+
+def task_fingerprint(
+    experiment_id: str,
+    kwargs: Optional[Dict[str, Any]] = None,
+    seed: Optional[int] = None,
+) -> str:
+    """Stable hash of one exact experiment invocation.
+
+    Canonical-JSON over ``(experiment_id, kwargs, seed)``: the campaign
+    journal keys resume decisions on this, and an outcome carrying it
+    can be re-run in isolation bit-for-bit (``repro run <id> --seed N``
+    with the journaled kwargs).
+    """
+    blob = json.dumps(
+        {"experiment_id": experiment_id, "kwargs": kwargs or {}, "seed": seed},
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
 
 @dataclass(frozen=True)
@@ -47,6 +70,11 @@ class ExperimentOutcome:
         partial: Intermediate results the failing engine surfaced via
             :class:`~repro.resilience.errors.ReproError.partial`.
         elapsed_s: Wall-clock run time.
+        seed: RNG seed applied before the run (None if unseeded).
+        kwargs: Keyword arguments the experiment ran with.
+        fingerprint: :func:`task_fingerprint` of (id, kwargs, seed) — a
+            journaled failure plus this triple reproduces the run
+            bit-for-bit.
     """
 
     experiment_id: str
@@ -56,6 +84,13 @@ class ExperimentOutcome:
     error_type: Optional[str] = None
     partial: Dict[str, Any] = field(default_factory=dict)
     elapsed_s: float = 0.0
+    seed: Optional[int] = None
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    fingerprint: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable view (CLI ``--json``, worker results)."""
+        return asdict(self)
 
 
 class ExperimentRegistry:
@@ -145,6 +180,7 @@ def _run_figure6(**kwargs: Any) -> Dict[str, Any]:
         "peak_c": solution.peak_temperature(),
         "coolest_c": solution.coolest_on_die(),
         "hottest_layer": solution.hottest_layer(),
+        "solver": solution.solver_info(),
     }
 
 
@@ -153,7 +189,12 @@ def _run_figure8(**kwargs: Any) -> Dict[str, Any]:
     from repro.thermal.solver import SolverConfig
 
     nx = kwargs.get("nx", 48)
-    return run_thermal_study(SolverConfig(nx=nx, ny=nx))
+    meta: Dict[str, Dict[str, Any]] = {}
+    result: Dict[str, Any] = dict(
+        run_thermal_study(SolverConfig(nx=nx, ny=nx), solver_meta=meta)
+    )
+    result["solver"] = meta
+    return result
 
 
 def _run_figure11(**kwargs: Any) -> Dict[str, Any]:
@@ -161,7 +202,12 @@ def _run_figure11(**kwargs: Any) -> Dict[str, Any]:
     from repro.thermal.solver import SolverConfig
 
     nx = kwargs.get("nx", 48)
-    return run_thermal_study(SolverConfig(nx=nx, ny=nx))
+    meta: Dict[str, Dict[str, Any]] = {}
+    result: Dict[str, Any] = dict(
+        run_thermal_study(SolverConfig(nx=nx, ny=nx), solver_meta=meta)
+    )
+    result["solver"] = meta
+    return result
 
 
 def _run_table4(**kwargs: Any) -> Dict[str, Any]:
@@ -202,13 +248,26 @@ def _run_table5(**kwargs: Any) -> Dict[str, Any]:
 
 def _run_headlines(**kwargs: Any) -> Dict[str, Any]:
     from repro.core.logic_on_logic import run_performance_study
+    from repro.floorplan.core2duo import core2duo_floorplan
+    from repro.thermal.model import simulate_planar
+    from repro.thermal.solver import SolverConfig
 
     logic = run_performance_study()
-    return {
+    headlines: Dict[str, Any] = {
         "logic_perf_gain_pct": logic.total_gain_pct,
         "logic_power_reduction_pct": logic.power_reduction_pct,
         "stages_eliminated_pct": logic.stages_eliminated_pct,
     }
+    # One coarse baseline solve so campaign reports can headline the
+    # thermal engine's health (method/residual/degraded) cheaply.
+    if kwargs.get("thermal", True):
+        nx = kwargs.get("nx", 24)
+        solution = simulate_planar(
+            core2duo_floorplan(), SolverConfig(nx=nx, ny=nx)
+        )
+        headlines["baseline_peak_c"] = solution.peak_temperature()
+        headlines["thermal_solver"] = solution.solver_info()
+    return headlines
 
 
 REGISTRY = ExperimentRegistry()
@@ -324,6 +383,7 @@ def run_experiment(
     experiment_id: str,
     strict: bool = False,
     registry: Optional[ExperimentRegistry] = None,
+    seed: Optional[int] = None,
     **kwargs: Any,
 ) -> ExperimentOutcome:
     """Run one experiment inside a run guard.
@@ -340,9 +400,21 @@ def run_experiment(
             (lookup errors for unknown ids always raise).
         registry: Registry to resolve the id against (the module-level
             :data:`REGISTRY` by default).
+        seed: If given, seeds the ``random`` and ``numpy.random`` global
+            generators before the run, and is recorded on the outcome so
+            the run can be reproduced exactly.
         **kwargs: Forwarded to the experiment's ``run`` callable.
     """
     experiment = (registry or REGISTRY).get(experiment_id)
+    fingerprint = task_fingerprint(experiment_id, kwargs, seed)
+    if seed is not None:
+        random.seed(seed)
+        try:
+            import numpy as np
+
+            np.random.seed(seed % 2**32)
+        except ImportError:  # pragma: no cover - numpy is a hard dep
+            pass
     start = time.perf_counter()
     try:
         result = experiment.run(**kwargs)
@@ -356,10 +428,16 @@ def run_experiment(
             error_type=type(exc).__name__,
             partial=dict(exc.partial) if isinstance(exc, ReproError) else {},
             elapsed_s=time.perf_counter() - start,
+            seed=seed,
+            kwargs=dict(kwargs),
+            fingerprint=fingerprint,
         )
     return ExperimentOutcome(
         experiment_id=experiment_id,
         ok=True,
         result=result,
         elapsed_s=time.perf_counter() - start,
+        seed=seed,
+        kwargs=dict(kwargs),
+        fingerprint=fingerprint,
     )

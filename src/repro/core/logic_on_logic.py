@@ -124,19 +124,29 @@ def thermal_map_3d_power(
 
 def run_thermal_study(
     solver: Optional[SolverConfig] = None,
+    solver_meta: Optional[Dict[str, Dict[str, object]]] = None,
 ) -> Dict[str, float]:
-    """Figure 11: 2D baseline, repaired 3D, and worst-case peak temps."""
+    """Figure 11: 2D baseline, repaired 3D, and worst-case peak temps.
+
+    If *solver_meta* is given, it is filled with each configuration's
+    solver provenance (residual/method/degraded).
+    """
     planar = pentium4_planar_floorplan()
     bottom, top = pentium4_3d_floorplans()
     worst_b, worst_t = pentium4_worstcase_3d()
-    return {
-        "2D Baseline": simulate_planar(planar, solver).peak_temperature(),
-        "3D": simulate_stack(
-            bottom, top, die2_metal="cu", config=solver
-        ).peak_temperature(),
+    solutions = {
+        "2D Baseline": simulate_planar(planar, solver),
+        "3D": simulate_stack(bottom, top, die2_metal="cu", config=solver),
         "3D Worstcase": simulate_stack(
             worst_b, worst_t, die2_metal="cu", config=solver
-        ).peak_temperature(),
+        ),
+    }
+    if solver_meta is not None:
+        for name, solution in solutions.items():
+            solver_meta[name] = solution.solver_info()
+    return {
+        name: solution.peak_temperature()
+        for name, solution in solutions.items()
     }
 
 

@@ -233,10 +233,14 @@ def run_performance_study(
 
 def run_thermal_study(
     solver: Optional[SolverConfig] = None,
+    solver_meta: Optional[Dict[str, Dict[str, object]]] = None,
 ) -> Dict[str, float]:
     """Solve the four configurations thermally (Figure 8a).
 
-    Returns peak temperature per configuration name.
+    Returns peak temperature per configuration name.  If *solver_meta*
+    is given, it is filled with each configuration's solver provenance
+    (residual/method/degraded) so degraded fallback solves stay visible
+    in campaign reports.
     """
     temps: Dict[str, float] = {}
     for config in build_memory_configs():
@@ -250,6 +254,8 @@ def run_thermal_study(
                 config=solver,
             )
         temps[config.name] = solution.peak_temperature()
+        if solver_meta is not None:
+            solver_meta[config.name] = solution.solver_info()
     return temps
 
 

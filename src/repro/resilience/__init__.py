@@ -44,6 +44,7 @@ _EXPORTS = {
     "load_checkpoint": "checkpoint",
     "FaultInjector": "faults",
     "make_raw_record": "faults",
+    "WORKER_FAULT_MODES": "faults",
 }
 
 

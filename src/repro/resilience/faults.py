@@ -14,6 +14,10 @@ to survive, so tests can prove every degradation path actually engages:
 * **Forced solver failures** — a stage budget consulted by the fallback
   ladder in :mod:`repro.resilience.policy`, so "LU failed" can be
   simulated without manufacturing a singular matrix.
+* **Worker faults** — chaos directives for the campaign runner
+  (:mod:`repro.runner`): crash a worker process, hang it past its
+  wall-clock budget, stall its heartbeat, or corrupt its result file,
+  deterministically per ``(seed, task, attempt)``.
 
 Everything is driven by one seeded :class:`random.Random`, so a given
 ``(seed, rates)`` configuration injects the identical fault sequence on
@@ -37,6 +41,10 @@ CORRUPTION_MODES = (
     "bad-cpu",
     "uid-regression",
 )
+
+#: Worker misbehaviors :meth:`FaultInjector.worker_fault` can direct
+#: (interpreted by ``repro.runner.worker``).
+WORKER_FAULT_MODES = ("crash", "hang", "stall", "corrupt-result")
 
 
 def make_raw_record(
@@ -75,7 +83,14 @@ class FaultInjector:
             :meth:`perturb_power`.
         forced_failures: Map of ladder stage name (``"lu"``, ``"cg"``,
             ``"coarse"``, ``"transient"``) to how many times that stage
-            must fail; -1 means fail every time.
+            must fail; -1 means fail every time.  Worker faults use
+            stage names ``"worker-<mode>"`` (any task) or
+            ``"worker-<mode>:<task_id>"`` (one task), with mode from
+            :data:`WORKER_FAULT_MODES`.
+        worker_fault_rates: Map of mode -> probability that a worker
+            attempt suffers that fault (modes from
+            :data:`WORKER_FAULT_MODES`); the draw is deterministic per
+            ``(seed, task_id, attempt)``.
     """
 
     def __init__(
@@ -85,6 +100,7 @@ class FaultInjector:
         dependency_drop_rate: float = 0.0,
         power_fault_rate: float = 0.0,
         forced_failures: Optional[Dict[str, int]] = None,
+        worker_fault_rates: Optional[Dict[str, float]] = None,
     ) -> None:
         for name, rate in (
             ("record_corruption_rate", record_corruption_rate),
@@ -93,11 +109,24 @@ class FaultInjector:
         ):
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        for mode, rate in (worker_fault_rates or {}).items():
+            if mode not in WORKER_FAULT_MODES:
+                raise ValueError(
+                    f"unknown worker fault mode {mode!r}; "
+                    f"known: {WORKER_FAULT_MODES}"
+                )
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    f"worker fault rate for {mode!r} must be in [0, 1], "
+                    f"got {rate}"
+                )
+        self.seed = seed
         self._rng = random.Random(seed)
         self.record_corruption_rate = record_corruption_rate
         self.dependency_drop_rate = dependency_drop_rate
         self.power_fault_rate = power_fault_rate
         self.forced_failures = dict(forced_failures or {})
+        self.worker_fault_rates = dict(worker_fault_rates or {})
         self.injected: Dict[str, int] = {}
 
     # -- bookkeeping ---------------------------------------------------------
@@ -116,6 +145,33 @@ class FaultInjector:
             self.forced_failures[stage] = remaining - 1
         self._note(f"forced:{stage}")
         return True
+
+    # -- worker faults -------------------------------------------------------
+
+    def worker_fault(self, task_id: str, attempt: int) -> Optional[str]:
+        """Chaos directive for one worker attempt, or None.
+
+        Forced failures win (``"worker-crash:figure-6"`` beats
+        ``"worker-crash"`` beats the rates); otherwise each mode's rate
+        is rolled with an RNG keyed on ``(seed, task_id, attempt)``, so
+        the same campaign configuration injects the same faults on every
+        run — and a *retry* of the same task rolls fresh, the way a real
+        transient fault clears.
+        """
+        for mode in WORKER_FAULT_MODES:
+            if self.should_fail(f"worker-{mode}:{task_id}"):
+                return mode
+            if self.should_fail(f"worker-{mode}"):
+                return mode
+        rng = random.Random(f"{self.seed}:{task_id}:{attempt}")
+        roll = rng.random()
+        cumulative = 0.0
+        for mode in WORKER_FAULT_MODES:
+            cumulative += self.worker_fault_rates.get(mode, 0.0)
+            if roll < cumulative:
+                self._note(f"worker:{mode}")
+                return mode
+        return None
 
     # -- trace faults --------------------------------------------------------
 

@@ -1,0 +1,54 @@
+"""Supervised campaign runner: crash-isolated, resumable batch execution.
+
+The paper's evaluation is a campaign of independent artifacts; this
+package runs them in subprocess workers under a supervisor with
+wall-clock timeouts, a heartbeat watchdog, bounded retry with
+deterministic jitter, and an append-only JSONL journal that makes a
+killed campaign resumable (``repro sweep --resume``).
+
+* :mod:`repro.runner.tasks` — task model + glob selection/fingerprints.
+* :mod:`repro.runner.journal` — torn-line-tolerant JSONL journal.
+* :mod:`repro.runner.worker` — the subprocess entry point.
+* :mod:`repro.runner.supervisor` — the campaign loop and report.
+"""
+
+import importlib
+
+#: Lazy re-exports (PEP 562): the worker subprocess imports this package
+#: on every launch (``python -m repro.runner.worker``), and must not pay
+#: for the supervisor's imports before its heartbeat starts.
+_EXPORTS = {
+    "CampaignTask": "tasks",
+    "select_tasks": "tasks",
+    "DEFAULT_REGISTRY_SPEC": "tasks",
+    "Journal": "journal",
+    "read_journal": "journal",
+    "completed_fingerprints": "journal",
+    "make_entry": "journal",
+    "JOURNAL_VERSION": "journal",
+    "CampaignConfig": "supervisor",
+    "CampaignReport": "supervisor",
+    "CampaignRunner": "supervisor",
+    "RetryPolicy": "supervisor",
+    "run_campaign": "supervisor",
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    module = importlib.import_module(f"repro.runner.{module_name}")
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))
+
+
+__all__ = list(_EXPORTS)

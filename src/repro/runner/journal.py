@@ -1,0 +1,149 @@
+"""Append-only JSONL result journal for resumable campaigns.
+
+One line per *attempt outcome*, written with a single ``write()`` on a
+file opened in append mode and fsynced, so a campaign killed mid-write
+leaves at most one torn trailing line — which :func:`read_journal`
+tolerates and reports instead of refusing the whole file.  Resume
+(:func:`completed_fingerprints`) replays the journal and skips any task
+whose exact fingerprint (experiment id + kwargs + seed) already has an
+``ok`` entry; failed tasks are re-run.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+#: Journal line format version; bump on incompatible schema changes.
+JOURNAL_VERSION = 1
+
+#: Attempt outcomes a journal line may carry.  ``ok`` and ``error`` come
+#: from inside the worker (the experiment ran to a verdict); the rest
+#: are supervisor verdicts about the worker itself.
+STATUSES = (
+    "ok",            # experiment completed, result captured
+    "error",         # experiment raised; structured error captured
+    "crash",         # worker exited abnormally / produced no result
+    "timeout",       # worker exceeded the wall-clock budget and was killed
+    "worker-dead",   # heartbeat stopped; worker killed by the watchdog
+    "corrupt-result",  # worker's result file was unreadable garbage
+)
+
+PathLike = Union[str, Path]
+
+
+def make_entry(
+    task_id: str,
+    experiment_id: str,
+    fingerprint: str,
+    status: str,
+    attempt: int,
+    final: bool,
+    *,
+    seed: Optional[int] = None,
+    kwargs: Optional[Dict[str, Any]] = None,
+    elapsed_s: float = 0.0,
+    error: Optional[str] = None,
+    error_type: Optional[str] = None,
+    result: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build one schema-checked journal line."""
+    if status not in STATUSES:
+        raise ValueError(f"unknown journal status {status!r}; known: {STATUSES}")
+    return {
+        "v": JOURNAL_VERSION,
+        "task_id": task_id,
+        "experiment_id": experiment_id,
+        "fingerprint": fingerprint,
+        "seed": seed,
+        "kwargs": dict(kwargs or {}),
+        "status": status,
+        "attempt": attempt,
+        "final": final,
+        "elapsed_s": elapsed_s,
+        "error": error,
+        "error_type": error_type,
+        "result": result if result is not None else {},
+    }
+
+
+class Journal:
+    """Single-writer append-only JSONL journal.
+
+    Only the supervisor writes the journal (workers hand results back
+    through per-task scratch files), so append-mode writes need no lock.
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        self._handle: Optional[io.TextIOWrapper] = None
+
+    def append(self, entry: Dict[str, Any]) -> None:
+        """Append one entry as a single atomic-enough write + fsync."""
+        line = json.dumps(entry, sort_keys=True, default=str)
+        if "\n" in line:  # defensive: JSONL invariant
+            line = line.replace("\n", " ")
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def read_journal(path: PathLike) -> Tuple[List[Dict[str, Any]], int]:
+    """Read every parseable entry; returns ``(entries, torn_lines)``.
+
+    Unparseable lines (a kill mid-append, disk-full truncation) are
+    counted, not fatal: a resumable journal must survive exactly the
+    failures it exists to record.  Entries from a future format version
+    are also skipped and counted.
+    """
+    entries: List[Dict[str, Any]] = []
+    torn = 0
+    path = Path(path)
+    if not path.exists():
+        return entries, torn
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                torn += 1
+                continue
+            if not isinstance(entry, dict) or "fingerprint" not in entry:
+                torn += 1
+                continue
+            if entry.get("v", 0) > JOURNAL_VERSION:
+                torn += 1
+                continue
+            entries.append(entry)
+    return entries, torn
+
+
+def completed_fingerprints(
+    entries: Iterable[Dict[str, Any]],
+) -> Dict[str, Dict[str, Any]]:
+    """Map fingerprint -> latest ``ok`` entry (resume skips these)."""
+    done: Dict[str, Dict[str, Any]] = {}
+    for entry in entries:
+        if entry.get("status") == "ok":
+            done[entry["fingerprint"]] = entry
+    return done

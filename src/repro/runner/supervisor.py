@@ -1,0 +1,465 @@
+"""Supervised campaign execution: crash-isolated workers under a watchdog.
+
+The paper's evaluation is a campaign of independent artifacts (Figures
+3-11, Tables 4-5); one hung solver or OOM-killed worker must not take
+down the study.  :func:`run_campaign` therefore runs every
+:class:`~repro.runner.tasks.CampaignTask` in its own subprocess
+(``python -m repro.runner.worker``) and supervises it with:
+
+* a **wall-clock timeout** per task — a worker past its budget is
+  killed, not waited on;
+* a **heartbeat watchdog** — workers touch a heartbeat file from a
+  daemon thread, so a worker that stops beating is killed as *dead*
+  long before its wall-clock budget, while a slow-but-alive worker is
+  left to finish;
+* **bounded retries** with exponential backoff and deterministic
+  jitter derived from the task fingerprint, so two campaigns over the
+  same tasks retry on the identical schedule;
+* an **append-only JSONL journal** (:mod:`repro.runner.journal`)
+  recording every attempt, so a killed campaign resumes by replaying
+  the journal and re-running only tasks without an ``ok`` entry.
+
+A campaign that ends with failures still returns a complete
+:class:`CampaignReport` — per-task status, error-taxonomy counts,
+retries used, wall clock — flagged ``degraded`` instead of raising.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.resilience.faults import FaultInjector
+from repro.runner.journal import (
+    Journal,
+    completed_fingerprints,
+    make_entry,
+    read_journal,
+)
+from repro.runner.tasks import CampaignTask
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff + deterministic jitter.
+
+    Attributes:
+        max_retries: Extra attempts after the first (0 disables retry).
+        backoff_base_s: Delay before the first retry.
+        backoff_factor: Multiplier per subsequent retry.
+        jitter_frac: Fraction of the delay added as jitter; the jitter
+            is drawn from ``random.Random(f"{fingerprint}:{attempt}")``
+            so it is reproducible, not synchronized across tasks.
+    """
+
+    max_retries: int = 2
+    backoff_base_s: float = 0.25
+    backoff_factor: float = 2.0
+    jitter_frac: float = 0.5
+
+    def delay_s(self, fingerprint: str, attempt: int) -> float:
+        """Backoff before retry number *attempt* (1-based)."""
+        base = self.backoff_base_s * self.backoff_factor ** max(0, attempt - 1)
+        rng = random.Random(f"{fingerprint}:{attempt}")
+        return base * (1.0 + self.jitter_frac * rng.random())
+
+
+@dataclass
+class CampaignConfig:
+    """Knobs for one campaign run (CLI: ``repro sweep``)."""
+
+    workers: int = 2
+    task_timeout_s: float = 300.0
+    heartbeat_every_s: float = 0.2
+    heartbeat_timeout_s: float = 10.0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    journal_path: str = "campaign.jsonl"
+    resume: bool = False
+    scratch_dir: Optional[str] = None
+    injector: Optional[FaultInjector] = None
+    poll_interval_s: float = 0.02
+    kill_grace_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.task_timeout_s <= 0:
+            raise ValueError("task_timeout_s must be positive")
+        if self.heartbeat_timeout_s <= self.heartbeat_every_s:
+            raise ValueError(
+                "heartbeat_timeout_s must exceed heartbeat_every_s"
+            )
+
+
+@dataclass
+class CampaignReport:
+    """Degraded-but-complete summary of a campaign.
+
+    ``degraded`` means the campaign finished but at least one task
+    exhausted its retry budget; the per-task entries say which and why.
+    """
+
+    tasks: List[Dict[str, Any]] = field(default_factory=list)
+    counts: Dict[str, int] = field(default_factory=dict)
+    taxonomy: Dict[str, int] = field(default_factory=dict)
+    retries_used: int = 0
+    wall_clock_s: float = 0.0
+    degraded: bool = False
+    degraded_solves: int = 0
+    fallback_solves: int = 0
+    journal_path: str = ""
+    resumed_ok: int = 0
+    torn_journal_lines: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when every task (fresh or resumed) ended ``ok``."""
+        return not self.degraded
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "tasks": list(self.tasks),
+            "counts": dict(self.counts),
+            "taxonomy": dict(self.taxonomy),
+            "retries_used": self.retries_used,
+            "wall_clock_s": self.wall_clock_s,
+            "degraded": self.degraded,
+            "degraded_solves": self.degraded_solves,
+            "fallback_solves": self.fallback_solves,
+            "journal_path": self.journal_path,
+            "resumed_ok": self.resumed_ok,
+            "torn_journal_lines": self.torn_journal_lines,
+        }
+
+
+@dataclass
+class _Attempt:
+    """Runtime state of one launched worker."""
+
+    task: CampaignTask
+    attempt: int
+    proc: subprocess.Popen
+    result_path: Path
+    heartbeat_path: Path
+    started_mono: float
+    deadline_mono: float
+
+
+def _solver_meta_counts(node: Any) -> Tuple[int, int]:
+    """Count (degraded, fallback) solver-info dicts nested in a result.
+
+    The thermal experiments attach ``{"residual", "method", "degraded"}``
+    dicts (see :meth:`ThermalSolution.solver_info`); surfacing them here
+    is what keeps a fallback-ladder run visible in campaign reports
+    instead of silently blending with exact solves.
+    """
+    degraded = fallback = 0
+    if isinstance(node, dict):
+        if {"residual", "method", "degraded"} <= set(node):
+            if node.get("degraded"):
+                degraded += 1
+            if str(node.get("method", "lu")) != "lu":
+                fallback += 1
+        for value in node.values():
+            d, f = _solver_meta_counts(value)
+            degraded += d
+            fallback += f
+    elif isinstance(node, (list, tuple)):
+        for value in node:
+            d, f = _solver_meta_counts(value)
+            degraded += d
+            fallback += f
+    return degraded, fallback
+
+
+def _kill(proc: subprocess.Popen, grace_s: float) -> None:
+    """Terminate, then kill after *grace_s*; always reaps the child."""
+    if proc.poll() is not None:
+        return
+    proc.terminate()
+    try:
+        proc.wait(timeout=grace_s)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait()
+
+
+class CampaignRunner:
+    """Drives one campaign; see module docstring for the contract."""
+
+    def __init__(self, config: Optional[CampaignConfig] = None) -> None:
+        self.config = config or CampaignConfig()
+
+    # -- worker lifecycle ----------------------------------------------------
+
+    def _launch(self, task: CampaignTask, attempt: int,
+                scratch: Path) -> _Attempt:
+        config = self.config
+        stem = f"{task.task_id.replace(os.sep, '_')}.a{attempt}"
+        spec_path = scratch / f"{stem}.spec.json"
+        result_path = scratch / f"{stem}.result.json"
+        heartbeat_path = scratch / f"{stem}.heartbeat"
+
+        chaos = None
+        if config.injector is not None:
+            chaos = config.injector.worker_fault(task.task_id, attempt)
+        spec = dict(task.to_spec())
+        spec.update(
+            result_path=str(result_path),
+            heartbeat_path=str(heartbeat_path),
+            heartbeat_every_s=config.heartbeat_every_s,
+            chaos=chaos,
+            sys_path=[p for p in sys.path if p],
+        )
+        spec_path.write_text(json.dumps(spec), encoding="utf-8")
+        result_path.unlink(missing_ok=True)
+        heartbeat_path.touch()  # baseline mtime: launch time
+
+        env = dict(os.environ)
+        package_root = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH", "")
+        env["PYTHONPATH"] = (
+            package_root + (os.pathsep + existing if existing else "")
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.runner.worker", str(spec_path)],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        now = time.monotonic()
+        return _Attempt(
+            task=task,
+            attempt=attempt,
+            proc=proc,
+            result_path=result_path,
+            heartbeat_path=heartbeat_path,
+            started_mono=now,
+            deadline_mono=now + config.task_timeout_s,
+        )
+
+    def _collect_exited(self, run: _Attempt) -> Dict[str, Any]:
+        """Attempt outcome for a worker that exited on its own."""
+        returncode = run.proc.returncode
+        elapsed = time.monotonic() - run.started_mono
+        task = run.task
+        common = dict(
+            task_id=task.task_id,
+            experiment_id=task.experiment_id,
+            fingerprint=task.fingerprint,
+            seed=task.seed,
+            kwargs=task.kwargs,
+            attempt=run.attempt,
+            elapsed_s=round(elapsed, 4),
+        )
+        if not run.result_path.exists():
+            return dict(
+                common,
+                status="crash",
+                error=f"worker exited with code {returncode} "
+                      f"and produced no result",
+                error_type="WorkerCrash",
+            )
+        try:
+            payload = json.loads(run.result_path.read_text(encoding="utf-8"))
+            if not isinstance(payload, dict) or "ok" not in payload:
+                raise ValueError("result payload missing 'ok'")
+        except (ValueError, OSError) as exc:
+            return dict(
+                common,
+                status="corrupt-result",
+                error=f"unreadable worker result: {exc}",
+                error_type="CorruptResult",
+            )
+        if payload["ok"]:
+            return dict(common, status="ok", result=payload.get("result", {}))
+        return dict(
+            common,
+            status="error",
+            error=payload.get("error"),
+            error_type=payload.get("error_type") or "Exception",
+        )
+
+    def _collect_killed(self, run: _Attempt, status: str,
+                        why: str) -> Dict[str, Any]:
+        _kill(run.proc, self.config.kill_grace_s)
+        task = run.task
+        return dict(
+            task_id=task.task_id,
+            experiment_id=task.experiment_id,
+            fingerprint=task.fingerprint,
+            seed=task.seed,
+            kwargs=task.kwargs,
+            attempt=run.attempt,
+            elapsed_s=round(time.monotonic() - run.started_mono, 4),
+            status=status,
+            error=why,
+            error_type="WorkerTimeout" if status == "timeout" else "WorkerDead",
+        )
+
+    def _check_running(self, run: _Attempt) -> Optional[Dict[str, Any]]:
+        """Poll one worker; an attempt-outcome dict once it is over."""
+        if run.proc.poll() is not None:
+            return self._collect_exited(run)
+        now = time.monotonic()
+        if now >= run.deadline_mono:
+            return self._collect_killed(
+                run, "timeout",
+                f"exceeded wall-clock budget of "
+                f"{self.config.task_timeout_s:g}s; killed",
+            )
+        try:
+            beat_age = time.time() - run.heartbeat_path.stat().st_mtime
+        except OSError:
+            beat_age = now - run.started_mono
+        if beat_age > self.config.heartbeat_timeout_s:
+            return self._collect_killed(
+                run, "worker-dead",
+                f"no heartbeat for {beat_age:.1f}s "
+                f"(limit {self.config.heartbeat_timeout_s:g}s); killed",
+            )
+        return None
+
+    # -- campaign loop -------------------------------------------------------
+
+    def run(self, tasks: Sequence[CampaignTask]) -> CampaignReport:
+        config = self.config
+        started = time.monotonic()
+        seen: set = set()
+        for task in tasks:
+            if task.task_id in seen:
+                raise ValueError(f"duplicate task id {task.task_id!r}")
+            seen.add(task.task_id)
+
+        report = CampaignReport(journal_path=str(config.journal_path))
+        resumed: Dict[str, Dict[str, Any]] = {}
+        if config.resume:
+            entries, torn = read_journal(config.journal_path)
+            report.torn_journal_lines = torn
+            resumed = completed_fingerprints(entries)
+
+        #: (task, attempt, eligible_at_monotonic) waiting to launch.
+        pending: List[Tuple[CampaignTask, int, float]] = []
+        for task in tasks:
+            done = resumed.get(task.fingerprint)
+            if done is not None:
+                report.resumed_ok += 1
+                report.tasks.append(dict(done, status="ok", resumed=True))
+            else:
+                pending.append((task, 0, started))
+
+        running: List[_Attempt] = []
+        final_by_task: Dict[str, Dict[str, Any]] = {}
+        scratch_ctx = None
+        if config.scratch_dir is None:
+            scratch_ctx = tempfile.TemporaryDirectory(prefix="repro-sweep-")
+            scratch = Path(scratch_ctx.name)
+        else:
+            scratch = Path(config.scratch_dir)
+            scratch.mkdir(parents=True, exist_ok=True)
+
+        journal = Journal(config.journal_path)
+        try:
+            while pending or running:
+                now = time.monotonic()
+                pending.sort(key=lambda item: item[2])
+                while (len(running) < config.workers and pending
+                       and pending[0][2] <= now):
+                    task, attempt, _ = pending.pop(0)
+                    running.append(self._launch(task, attempt, scratch))
+
+                still_running: List[_Attempt] = []
+                for run in running:
+                    outcome = self._check_running(run)
+                    if outcome is None:
+                        still_running.append(run)
+                        continue
+                    self._record(outcome, run.task, journal, report,
+                                 pending, final_by_task)
+                running = still_running
+                if pending or running:
+                    time.sleep(config.poll_interval_s)
+        except BaseException:
+            for run in running:
+                _kill(run.proc, 0.2)
+            raise
+        finally:
+            journal.close()
+            if scratch_ctx is not None:
+                scratch_ctx.cleanup()
+
+        for task in tasks:
+            entry = final_by_task.get(task.task_id)
+            if entry is not None:
+                report.tasks.append(entry)
+        report.counts = {
+            "ok": sum(1 for t in report.tasks if t["status"] == "ok"),
+            "failed": sum(1 for t in report.tasks if t["status"] != "ok"),
+            "skipped": report.resumed_ok,
+        }
+        report.degraded = report.counts["failed"] > 0
+        for entry in report.tasks:
+            d, f = _solver_meta_counts(entry.get("result", {}))
+            report.degraded_solves += d
+            report.fallback_solves += f
+        report.wall_clock_s = round(time.monotonic() - started, 4)
+        return report
+
+    def _record(
+        self,
+        outcome: Dict[str, Any],
+        task: CampaignTask,
+        journal: Journal,
+        report: CampaignReport,
+        pending: List[Tuple[CampaignTask, int, float]],
+        final_by_task: Dict[str, Dict[str, Any]],
+    ) -> None:
+        """Journal one attempt outcome; schedule a retry or finalize."""
+        config = self.config
+        failed = outcome["status"] != "ok"
+        retryable = failed and outcome["attempt"] < config.retry.max_retries
+        entry = make_entry(
+            task_id=outcome["task_id"],
+            experiment_id=outcome["experiment_id"],
+            fingerprint=outcome["fingerprint"],
+            status=outcome["status"],
+            attempt=outcome["attempt"],
+            final=not retryable,
+            seed=outcome.get("seed"),
+            kwargs=outcome.get("kwargs"),
+            elapsed_s=outcome.get("elapsed_s", 0.0),
+            error=outcome.get("error"),
+            error_type=outcome.get("error_type"),
+            result=outcome.get("result"),
+        )
+        journal.append(entry)
+        if failed:
+            key = (outcome.get("error_type")
+                   if outcome["status"] == "error"
+                   else outcome["status"]) or outcome["status"]
+            report.taxonomy[key] = report.taxonomy.get(key, 0) + 1
+        if retryable:
+            attempt = outcome["attempt"] + 1
+            report.retries_used += 1
+            delay = config.retry.delay_s(task.fingerprint, attempt)
+            pending.append((task, attempt, time.monotonic() + delay))
+        else:
+            final = dict(entry)
+            final["retries_used"] = outcome["attempt"]
+            final_by_task[task.task_id] = final
+
+
+def run_campaign(
+    tasks: Sequence[CampaignTask],
+    config: Optional[CampaignConfig] = None,
+) -> CampaignReport:
+    """Run *tasks* under supervision; never raises for task failures."""
+    return CampaignRunner(config).run(tasks)

@@ -18,7 +18,7 @@ with a sparse LU factorization.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -88,6 +88,19 @@ class ThermalSolution:
     degraded: bool = False
 
     # -- queries -----------------------------------------------------------
+
+    def solver_info(self) -> Dict[str, Any]:
+        """How this field was produced: residual, method, degraded flag.
+
+        Experiment results embed this dict so a fallback-ladder solve
+        (see :mod:`repro.resilience.policy`) stays visible in campaign
+        reports instead of silently blending with exact solves.
+        """
+        return {
+            "residual": float(self.residual),
+            "method": self.method,
+            "degraded": bool(self.degraded),
+        }
 
     def layer_temperature(self, name: str) -> np.ndarray:
         """Full-domain temperature slab of a layer, shape (planes, ny, nx)."""

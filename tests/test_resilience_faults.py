@@ -109,3 +109,48 @@ class TestRawRecordBypass:
         assert bad.cpu == -3 and bad.dep_uid == 99
         with pytest.raises(TraceCorruptionError):
             TraceRecord(5, -3, AccessType.LOAD, -1, 0, dep_uid=99)
+
+
+class TestWorkerFaults:
+    def test_no_rates_no_faults(self):
+        injector = FaultInjector(seed=1)
+        assert injector.worker_fault("figure-6", 0) is None
+
+    def test_forced_fault_for_one_task(self):
+        injector = FaultInjector(
+            forced_failures={"worker-crash:figure-6": 1}
+        )
+        assert injector.worker_fault("figure-6", 0) == "crash"
+        assert injector.worker_fault("figure-6", 1) is None  # consumed
+        assert injector.worker_fault("figure-8", 0) is None  # other task
+
+    def test_forced_fault_any_task_always(self):
+        injector = FaultInjector(forced_failures={"worker-hang": -1})
+        assert injector.worker_fault("a", 0) == "hang"
+        assert injector.worker_fault("b", 5) == "hang"
+
+    def test_rate_faults_deterministic_per_seed_task_attempt(self):
+        def make():
+            return FaultInjector(seed=11, worker_fault_rates={"crash": 0.5})
+
+        rolls = [make().worker_fault("t", i) for i in range(20)]
+        assert rolls == [make().worker_fault("t", i) for i in range(20)]
+        assert "crash" in rolls and None in rolls  # rate actually bites
+
+    def test_retry_rolls_fresh(self):
+        injector = FaultInjector(seed=0, worker_fault_rates={"crash": 0.5})
+        rolls = {injector.worker_fault("task", a) for a in range(30)}
+        assert rolls == {"crash", None}  # transient, not sticky
+
+    def test_injected_bookkeeping(self):
+        injector = FaultInjector(
+            seed=2, worker_fault_rates={"corrupt-result": 1.0}
+        )
+        assert injector.worker_fault("t", 0) == "corrupt-result"
+        assert injector.injected["worker:corrupt-result"] == 1
+
+    def test_invalid_mode_and_rate_rejected(self):
+        with pytest.raises(ValueError, match="unknown worker fault mode"):
+            FaultInjector(worker_fault_rates={"meltdown": 0.1})
+        with pytest.raises(ValueError, match="must be in"):
+            FaultInjector(worker_fault_rates={"crash": 1.5})

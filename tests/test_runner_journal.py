@@ -1,0 +1,136 @@
+"""Tests for the append-only campaign journal and task model."""
+
+import json
+
+import pytest
+
+from repro.core.experiments import task_fingerprint
+from repro.runner.journal import (
+    Journal,
+    completed_fingerprints,
+    make_entry,
+    read_journal,
+)
+from repro.runner.tasks import CampaignTask, select_tasks
+
+
+def _entry(task_id="t1", status="ok", attempt=0, **overrides):
+    base = dict(
+        task_id=task_id,
+        experiment_id=task_id,
+        fingerprint=task_fingerprint(task_id, {}, None),
+        status=status,
+        attempt=attempt,
+        final=True,
+    )
+    base.update(overrides)
+    return make_entry(**base)
+
+
+class TestJournalRoundTrip:
+    def test_append_then_read(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            journal.append(_entry("a"))
+            journal.append(_entry("b", status="crash"))
+        entries, torn = read_journal(path)
+        assert torn == 0
+        assert [e["task_id"] for e in entries] == ["a", "b"]
+        assert entries[1]["status"] == "crash"
+
+    def test_missing_journal_is_empty(self, tmp_path):
+        entries, torn = read_journal(tmp_path / "nope.jsonl")
+        assert entries == [] and torn == 0
+
+    def test_unknown_status_rejected(self):
+        with pytest.raises(ValueError, match="unknown journal status"):
+            _entry(status="exploded")
+
+    def test_torn_trailing_line_tolerated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            journal.append(_entry("a"))
+            journal.append(_entry("b"))
+        # Simulate a kill mid-append: truncate inside the last line.
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-15])
+        entries, torn = read_journal(path)
+        assert [e["task_id"] for e in entries] == ["a"]
+        assert torn == 1
+
+    def test_foreign_lines_counted_not_fatal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(
+            json.dumps({"not": "ours"}) + "\n"
+            + json.dumps(_entry("good")) + "\n"
+            + "complete garbage\n"
+        )
+        entries, torn = read_journal(path)
+        assert len(entries) == 1 and entries[0]["task_id"] == "good"
+        assert torn == 2
+
+    def test_future_version_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        future = dict(_entry("future"), v=99)
+        path.write_text(json.dumps(future) + "\n")
+        entries, torn = read_journal(path)
+        assert entries == [] and torn == 1
+
+
+class TestResumeSemantics:
+    def test_completed_keeps_only_ok(self):
+        fp_ok = task_fingerprint("a", {}, 1)
+        fp_bad = task_fingerprint("b", {}, 2)
+        entries = [
+            _entry("a", fingerprint=fp_ok, seed=1),
+            _entry("b", status="timeout", fingerprint=fp_bad, seed=2),
+        ]
+        done = completed_fingerprints(entries)
+        assert set(done) == {fp_ok}
+
+    def test_failure_then_success_resumes_as_done(self):
+        fp = task_fingerprint("a", {}, None)
+        entries = [
+            _entry("a", status="crash", fingerprint=fp),
+            _entry("a", status="ok", attempt=1, fingerprint=fp),
+        ]
+        assert set(completed_fingerprints(entries)) == {fp}
+
+
+class TestTaskModel:
+    def test_fingerprint_depends_on_kwargs_and_seed(self):
+        base = CampaignTask("t", "figure-6")
+        assert base.fingerprint == task_fingerprint("figure-6", {}, None)
+        assert (CampaignTask("t", "figure-6", kwargs={"nx": 8}).fingerprint
+                != base.fingerprint)
+        assert (CampaignTask("t", "figure-6", seed=7).fingerprint
+                != base.fingerprint)
+
+    def test_fingerprint_ignores_kwarg_order(self):
+        a = task_fingerprint("x", {"nx": 8, "scale": 2}, 0)
+        b = task_fingerprint("x", {"scale": 2, "nx": 8}, 0)
+        assert a == b
+
+    def test_select_tasks_glob_and_seeds(self):
+        tasks = select_tasks(["figure-*"], seed=100)
+        ids = [t.experiment_id for t in tasks]
+        assert ids == ["figure-3", "figure-5", "figure-6", "figure-8",
+                       "figure-11"]
+        assert [t.seed for t in tasks] == [100, 101, 102, 103, 104]
+
+    def test_select_tasks_default_selects_all(self):
+        from repro.core.experiments import list_experiments
+
+        tasks = select_tasks([])
+        assert [t.experiment_id for t in tasks] == list_experiments()
+        assert all(t.seed is None for t in tasks)
+
+    def test_select_tasks_rejects_unmatched_pattern(self):
+        with pytest.raises(ValueError, match="matches no experiment"):
+            select_tasks(["figure-99*"])
+
+    def test_spec_is_json_round_trippable(self):
+        task = CampaignTask("t", "table-4", kwargs={"nx": 8}, seed=3)
+        spec = json.loads(json.dumps(task.to_spec()))
+        assert spec["experiment_id"] == "table-4"
+        assert spec["fingerprint"] == task.fingerprint
