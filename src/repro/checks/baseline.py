@@ -1,0 +1,84 @@
+"""Baseline (grandfathering) for ``repro lint``.
+
+The committed baseline records every *known* violation as a count per
+``code|path|context`` key.  Keys anchor on the stripped source line, not
+the line number, so edits elsewhere in a file do not churn the baseline.
+
+Semantics:
+
+* a finding whose key has remaining budget in the baseline is
+  **suppressed** (reported as baselined, does not fail the run);
+* findings beyond the budget — a new violation, or a second copy of a
+  grandfathered line — are **new** and fail the run;
+* baseline entries with more budget than current findings are **stale**:
+  the violation was fixed (or the line changed), and the entry should be
+  removed with ``repro lint --write-baseline``.  Stale entries are
+  reported but never fail the run.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.checks.diagnostics import Diagnostic
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Read a baseline file into a key -> count mapping."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {data.get('version')!r} in {path}"
+        )
+    entries = data.get("entries", {})
+    if not isinstance(entries, dict):
+        raise ValueError(f"baseline {path} has no 'entries' mapping")
+    return {str(key): int(count) for key, count in entries.items()}
+
+
+def save_baseline(path: Path, diagnostics: Iterable[Diagnostic]) -> Dict[str, int]:
+    """Write the given findings as the new baseline; returns the entries."""
+    counts = Counter(diag.baseline_key for diag in diagnostics)
+    entries = {key: counts[key] for key in sorted(counts)}
+    payload = {
+        "version": BASELINE_VERSION,
+        "comment": (
+            "Grandfathered `repro lint` violations. New violations fail; "
+            "regenerate after genuine fixes with `repro lint "
+            "--write-baseline`."
+        ),
+        "entries": entries,
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    return entries
+
+
+def apply_baseline(
+    diagnostics: List[Diagnostic],
+    baseline: Dict[str, int],
+) -> Tuple[List[Diagnostic], List[Diagnostic], Dict[str, int]]:
+    """Split findings into (new, suppressed) and report stale entries.
+
+    Findings are consumed against the baseline in sorted order so the
+    split is deterministic.  Returns ``(new, suppressed, stale)`` where
+    ``stale`` maps unconsumed baseline keys to their leftover budget.
+    """
+    budget = dict(baseline)
+    new: List[Diagnostic] = []
+    suppressed: List[Diagnostic] = []
+    for diag in sorted(diagnostics):
+        key = diag.baseline_key
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            suppressed.append(diag)
+        else:
+            new.append(diag)
+    stale = {key: left for key, left in sorted(budget.items()) if left > 0}
+    return new, suppressed, stale

@@ -1,0 +1,269 @@
+"""The ``repro lint`` engine: file discovery, pass orchestration, output.
+
+Exit codes (mirroring the sweep command's "usage vs. outcome" split):
+
+* ``0`` — no new violations (baselined and stale findings allowed);
+* ``2`` — new violations, or a scanned file that does not parse;
+* argparse itself exits 2 on bad usage.
+
+The engine never imports the code it scans; everything is AST-level, so
+a broken simulator module yields an ``RPL000`` diagnostic instead of an
+import error.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.checks import contracts, determinism, layering, physics
+from repro.checks.baseline import apply_baseline, load_baseline, save_baseline
+from repro.checks.diagnostics import CODES, Diagnostic, PyFile
+
+#: Name of the committed baseline file, looked up at the repo root.
+BASELINE_NAME = "repro-lint-baseline.json"
+
+#: Sentinel: "use the committed baseline if one exists".
+AUTO_BASELINE = "auto"
+
+PASSES = ("determinism", "layering", "contracts", "physics")
+
+
+def package_root() -> Path:
+    """The installed ``repro`` package directory (scan root)."""
+    return Path(__file__).resolve().parents[1]
+
+
+def repo_root() -> Path:
+    """Best-effort repository root (``src/repro`` layout -> two up)."""
+    return package_root().parents[1]
+
+
+def default_baseline_path() -> Optional[Path]:
+    """The committed baseline, if present at the repo root."""
+    candidate = repo_root() / BASELINE_NAME
+    return candidate if candidate.is_file() else None
+
+
+def load_files(
+    root: Path, top: str = "repro"
+) -> List[PyFile]:
+    """Parse every ``*.py`` under *root* into :class:`PyFile` records.
+
+    Unparseable files are returned as pseudo-files with an empty AST; the
+    engine reports them as ``RPL000`` (they cannot be analyzed, which is
+    itself a violation).
+    """
+    files: List[PyFile] = []
+    for path in sorted(Path(root).rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        rel = path.relative_to(root).as_posix()
+        dotted = rel[: -len(".py")].replace("/", ".")
+        if dotted.endswith("__init__"):
+            dotted = dotted[: -len(".__init__")] if "." in dotted else ""
+        module = f"{top}.{dotted}" if dotted else top
+        text = path.read_text(encoding="utf-8", errors="replace")
+        lines = text.splitlines()
+        try:
+            tree = ast.parse(text, filename=str(path))
+        except SyntaxError as exc:
+            files.append(PyFile(
+                rel=rel, module=module,
+                tree=ast.Module(body=[], type_ignores=[]),
+                lines=lines,
+                parse_error=f"{type(exc).__name__} at line {exc.lineno}",
+            ))
+            continue
+        files.append(PyFile(rel=rel, module=module, tree=tree, lines=lines))
+    return files
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced.
+
+    Attributes:
+        root: Scanned package root.
+        diagnostics: Every finding, sorted.
+        new: Findings not covered by the baseline (these fail the run).
+        suppressed: Findings the baseline grandfathers.
+        stale_baseline: Baseline keys with leftover budget (fixed
+            violations whose entries should be pruned).
+        parse_failures: Files that did not parse (subset of ``new``).
+    """
+
+    root: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    new: List[Diagnostic] = field(default_factory=list)
+    suppressed: List[Diagnostic] = field(default_factory=list)
+    stale_baseline: Dict[str, int] = field(default_factory=dict)
+    baseline_path: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.new
+
+    def counts(self) -> Dict[str, int]:
+        per_pass: Dict[str, int] = {name: 0 for name in PASSES}
+        for diag in self.diagnostics:
+            per_pass[diag.pass_name] = per_pass.get(diag.pass_name, 0) + 1
+        return {
+            "total": len(self.diagnostics),
+            "new": len(self.new),
+            "baselined": len(self.suppressed),
+            "stale_baseline": len(self.stale_baseline),
+            **{f"pass:{name}": count for name, count in sorted(per_pass.items())},
+        }
+
+
+def _select_filter(
+    diagnostics: Iterable[Diagnostic], select: Optional[Sequence[str]]
+) -> List[Diagnostic]:
+    if not select:
+        return list(diagnostics)
+    prefixes = tuple(s.strip().upper() for s in select if s.strip())
+    return [d for d in diagnostics if d.code.startswith(prefixes)]
+
+
+def run_passes(
+    files: List[PyFile],
+    tests_dir: Optional[Path] = None,
+) -> List[Diagnostic]:
+    """All four passes (plus parse-failure reporting) over parsed files."""
+    out: List[Diagnostic] = []
+    for pf in files:
+        if pf.parse_error:
+            out.append(Diagnostic(
+                path=pf.rel, line=1, col=0, code="RPL000",
+                message=f"file does not parse ({pf.parse_error})",
+                context="parse-failure",
+            ))
+    out.extend(determinism.run(files))
+    out.extend(layering.run(files))
+    out.extend(contracts.run(files, tests_dir=tests_dir))
+    out.extend(physics.run(files))
+    return sorted(out)
+
+
+def run_lint(
+    root: Optional[Path] = None,
+    tests_dir: Optional[Path] = None,
+    baseline_path=AUTO_BASELINE,
+    select: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Run every pass and apply the baseline; the CLI's workhorse.
+
+    Args:
+        root: Package directory to scan (default: the installed
+            ``repro`` package).
+        tests_dir: Tests directory for the contract pass's
+            "referenced by a test" check (default: ``tests/`` at the
+            repo root, skipped if absent).
+        baseline_path: Baseline file.  The default
+            (:data:`AUTO_BASELINE`) uses the committed one at the repo
+            root if present; ``None`` lints without grandfathering.
+        select: Code prefixes to keep (e.g. ``["RPL1", "RPL203"]``).
+    """
+    root = Path(root) if root is not None else package_root()
+    if baseline_path == AUTO_BASELINE:
+        baseline_path = default_baseline_path()
+    if tests_dir is None:
+        candidate = repo_root() / "tests"
+        tests_dir = candidate if candidate.is_dir() else None
+    files = load_files(root)
+    diagnostics = _select_filter(run_passes(files, tests_dir), select)
+
+    report = LintReport(root=str(root), diagnostics=diagnostics)
+    baseline: Dict[str, int] = {}
+    if baseline_path is not None and Path(baseline_path).is_file():
+        baseline = load_baseline(Path(baseline_path))
+        report.baseline_path = str(baseline_path)
+    report.new, report.suppressed, report.stale_baseline = apply_baseline(
+        diagnostics, baseline
+    )
+    return report
+
+
+def render_text(report: LintReport, verbose: bool = False) -> str:
+    """Human rendering: new findings, then baseline accounting."""
+    lines: List[str] = []
+    for diag in report.new:
+        lines.append(diag.render())
+    if verbose:
+        for diag in report.suppressed:
+            lines.append(f"{diag.render()} [baselined]")
+    for key, left in report.stale_baseline.items():
+        lines.append(
+            f"warning: stale baseline entry ({left} unmatched): {key} "
+            f"-- run `repro lint --write-baseline` to prune"
+        )
+    counts = report.counts()
+    lines.append(
+        f"repro lint: {counts['total']} finding(s) "
+        f"({counts['new']} new, {counts['baselined']} baselined, "
+        f"{counts['stale_baseline']} stale baseline entr"
+        f"{'y' if counts['stale_baseline'] == 1 else 'ies'}) "
+        f"across {len(PASSES)} passes"
+    )
+    lines.append("verdict: " + ("OK" if report.ok else "NEW VIOLATIONS"))
+    return "\n".join(lines)
+
+
+def to_json(report: LintReport) -> Dict[str, object]:
+    """JSON rendering (the ``--format json`` schema, CI artifact)."""
+    suppressed = set(id(d) for d in report.suppressed)
+    return {
+        "version": 1,
+        "root": report.root,
+        "baseline": report.baseline_path,
+        "passes": list(PASSES),
+        "codes": {code: desc for code, (_, desc) in sorted(CODES.items())},
+        "counts": report.counts(),
+        "ok": report.ok,
+        "diagnostics": [
+            {**diag.to_dict(), "baselined": id(diag) in suppressed}
+            for diag in report.diagnostics
+        ],
+        "stale_baseline": dict(report.stale_baseline),
+    }
+
+
+def main(args) -> int:
+    """Entry point for ``repro lint`` (argparse namespace in, exit code out)."""
+    root = Path(args.root) if getattr(args, "root", None) else package_root()
+    if getattr(args, "no_baseline", False):
+        baseline_path = None
+    elif getattr(args, "baseline", None):
+        baseline_path = Path(args.baseline)
+    else:
+        baseline_path = default_baseline_path()
+
+    select: Optional[List[str]] = None
+    if getattr(args, "select", None):
+        select = [
+            code
+            for chunk in args.select
+            for code in chunk.split(",")
+            if code.strip()
+        ]
+
+    if getattr(args, "write_baseline", False):
+        target = baseline_path or (repo_root() / BASELINE_NAME)
+        report = run_lint(root=root, baseline_path=None, select=select)
+        entries = save_baseline(target, report.diagnostics)
+        print(
+            f"wrote {target}: {sum(entries.values())} finding(s) across "
+            f"{len(entries)} baseline entr{'y' if len(entries) == 1 else 'ies'}"
+        )
+        return 0
+
+    report = run_lint(root=root, baseline_path=baseline_path, select=select)
+    if getattr(args, "format", "text") == "json":
+        print(json.dumps(to_json(report), indent=2))
+    else:
+        print(render_text(report, verbose=getattr(args, "verbose", False)))
+    return 0 if report.ok else 2

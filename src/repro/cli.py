@@ -16,6 +16,9 @@ Commands:
   strict/lenient validation and optional checkpoint/resume.
 * ``sweep`` — run a campaign of experiments in crash-isolated,
   supervised workers with timeouts, retries, and a resumable journal.
+* ``lint`` — run the four static invariant passes (determinism,
+  layering, experiment contracts, physics hygiene) over the source
+  tree; exits 2 on violations not grandfathered by the baseline.
 """
 
 from __future__ import annotations
@@ -198,6 +201,12 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         print(f"  quarantined   {stats.quarantined} corrupt record(s): "
               f"{stats.quarantined_by_reason}")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.checks.engine import main as lint_main
+
+    return lint_main(args)
 
 
 def _cmd_memory(args: argparse.Namespace) -> int:
@@ -400,6 +409,32 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--resume", action="store_true",
                         help="resume from the latest checkpoint")
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the static invariant passes (RPL1xx determinism, "
+             "RPL2xx layering, RPL3xx contracts, RPL4xx physics)",
+    )
+    lint.add_argument("--root", metavar="DIR",
+                      help="package directory to scan (default: the "
+                           "installed repro package)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="output format (json includes every diagnostic "
+                           "plus the code table)")
+    lint.add_argument("--baseline", metavar="FILE",
+                      help="baseline file grandfathering known violations "
+                           "(default: repro-lint-baseline.json at the repo "
+                           "root, if present)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="ignore any baseline; report every finding as new")
+    lint.add_argument("--select", action="append", metavar="RPLxxx",
+                      help="only run codes with these prefixes "
+                           "(comma-separated or repeated)")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="write the current findings as the new baseline "
+                           "and exit 0")
+    lint.add_argument("--verbose", action="store_true",
+                      help="also print baselined (suppressed) findings")
+
     memory = sub.add_parser("memory", help="Section 3 Memory+Logic study")
     memory.add_argument("--workloads", help="comma-separated kernel names")
     memory.add_argument("--scale", type=int, default=8)
@@ -444,6 +479,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "validate": _cmd_validate,
         "replay": _cmd_replay,
         "sweep": _cmd_sweep,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -9,6 +9,7 @@ them next to the published values.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import random
@@ -130,6 +131,7 @@ class ExperimentRegistry:
 
 
 def _run_figure3(**kwargs: Any) -> Dict[str, Any]:
+    """Figure 3: peak temperature vs. Cu-metal / bond-layer conductivity."""
     from repro.floorplan.pentium4 import pentium4_3d_floorplans
     from repro.thermal.solver import SolverConfig, solve_steady_state
     from repro.thermal.stack import build_3d_stack
@@ -151,6 +153,7 @@ def _run_figure3(**kwargs: Any) -> Dict[str, Any]:
 
 
 def _run_figure5(**kwargs: Any) -> Dict[str, Any]:
+    """Figure 5: CPMA and off-die bandwidth, 12 RMS workloads x 4 caches."""
     from repro.core.memory_on_logic import run_performance_study
 
     result = run_performance_study(
@@ -168,6 +171,7 @@ def _run_figure5(**kwargs: Any) -> Dict[str, Any]:
 
 
 def _run_figure6(**kwargs: Any) -> Dict[str, Any]:
+    """Figure 6: baseline Core 2 Duo thermal map (88.35 C peak / 59 C)."""
     from repro.floorplan.core2duo import core2duo_floorplan
     from repro.thermal.model import simulate_planar
     from repro.thermal.solver import SolverConfig
@@ -185,6 +189,7 @@ def _run_figure6(**kwargs: Any) -> Dict[str, Any]:
 
 
 def _run_figure8(**kwargs: Any) -> Dict[str, Any]:
+    """Figure 8: peak temperature of the four Memory+Logic stack configs."""
     from repro.core.memory_on_logic import run_thermal_study
     from repro.thermal.solver import SolverConfig
 
@@ -198,6 +203,7 @@ def _run_figure8(**kwargs: Any) -> Dict[str, Any]:
 
 
 def _run_figure11(**kwargs: Any) -> Dict[str, Any]:
+    """Figure 11: Logic+Logic thermals (2D baseline / 3D / 3D worst case)."""
     from repro.core.logic_on_logic import run_thermal_study
     from repro.thermal.solver import SolverConfig
 
@@ -211,6 +217,7 @@ def _run_figure11(**kwargs: Any) -> Dict[str, Any]:
 
 
 def _run_table4(**kwargs: Any) -> Dict[str, Any]:
+    """Table 4: pipe stages eliminated and per-area performance gains."""
     from repro.core.logic_on_logic import run_performance_study
 
     result = run_performance_study()
@@ -222,6 +229,7 @@ def _run_table4(**kwargs: Any) -> Dict[str, Any]:
 
 
 def _run_table5(**kwargs: Any) -> Dict[str, Any]:
+    """Table 5: voltage/frequency scaling points of the 3D floorplan."""
     from repro.core.logic_on_logic import run_logic_study
     from repro.thermal.solver import SolverConfig
 
@@ -247,6 +255,7 @@ def _run_table5(**kwargs: Any) -> Dict[str, Any]:
 
 
 def _run_headlines(**kwargs: Any) -> Dict[str, Any]:
+    """Section 3/4 headline numbers (perf gain, power saving, stages)."""
     from repro.core.logic_on_logic import run_performance_study
     from repro.floorplan.core2duo import core2duo_floorplan
     from repro.thermal.model import simulate_planar
@@ -409,12 +418,10 @@ def run_experiment(
     fingerprint = task_fingerprint(experiment_id, kwargs, seed)
     if seed is not None:
         random.seed(seed)
-        try:
+        with contextlib.suppress(ImportError):  # numpy is a hard dep
             import numpy as np
 
             np.random.seed(seed % 2**32)
-        except ImportError:  # pragma: no cover - numpy is a hard dep
-            pass
     start = time.perf_counter()
     try:
         result = experiment.run(**kwargs)

@@ -20,11 +20,9 @@ from typing import List, Optional
 
 from repro.floorplan.blocks import Floorplan, stack_outline_matches
 
-#: RC of a full first-to-last-metal via stack, normalized to 1.0.
-VIA_STACK_RC = 1.0
-
-#: RC of the d2d via path relative to a full via stack (paper: ~1/3).
-D2D_RC_FRACTION = 1.0 / 3.0
+# Re-exported so existing callers keep working; the constants live with
+# the physical stacking substrate (see repro.floorplan.stacking).
+from repro.floorplan.stacking import D2D_RC_FRACTION, VIA_STACK_RC
 
 #: Energy per bit of a conventional off-die bus at 20 mW/Gb/s, joules.
 OFFDIE_ENERGY_PER_BIT_J = 20e-3 / 1e9

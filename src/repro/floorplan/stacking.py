@@ -18,6 +18,18 @@ import numpy as np
 
 from repro.floorplan.blocks import Block, Floorplan, FloorplanError
 
+# -- die-to-die interface technology constants ---------------------------
+# The electrical side of face-to-face stacking (Section 3): the d2d via
+# path is far closer to an on-die via stack than to an I/O pad.  These
+# live with the physical stacking substrate so both the electrical model
+# (core.stack) and the wire-delay model (uarch.wires) draw on one source.
+
+#: RC of a full first-to-last-metal via stack, normalized to 1.0.
+VIA_STACK_RC = 1.0
+
+#: RC of the d2d via path relative to a full via stack (paper: ~1/3).
+D2D_RC_FRACTION = VIA_STACK_RC / 3.0
+
 
 def power_density_map(
     bottom: Floorplan, top: Floorplan, nx: int = 64, ny: int = 64

@@ -88,7 +88,10 @@ class Journal:
             line = line.replace("\n", " ")
         if self._handle is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._handle = open(self.path, "a", encoding="utf-8")
+            # long-lived handle by design; closed in close()
+            self._handle = open(  # noqa: SIM115
+                self.path, "a", encoding="utf-8"
+            )
         self._handle.write(line + "\n")
         self._handle.flush()
         os.fsync(self._handle.fileno())
@@ -118,7 +121,7 @@ def read_journal(path: PathLike) -> Tuple[List[Dict[str, Any]], int]:
     path = Path(path)
     if not path.exists():
         return entries, torn
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
             if not line:

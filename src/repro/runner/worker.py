@@ -138,7 +138,7 @@ def main(argv) -> int:
         print("usage: python -m repro.runner.worker <spec.json>",
               file=sys.stderr)
         return 2
-    with open(argv[0], "r", encoding="utf-8") as handle:
+    with open(argv[0], encoding="utf-8") as handle:
         spec = json.load(handle)
     return run_spec(spec)
 

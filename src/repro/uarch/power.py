@@ -26,6 +26,10 @@ from repro.uarch.pipeline import (
     stages_eliminated_fraction,
 )
 
+#: Total power of the planar 147 W design skew, watts (Section 4 /
+#: Figure 11's baseline).  Every roll-up defaults to this single value.
+PLANAR_TDP_W = 147.0
+
 #: Fraction of repeaters and repeating latches removed by the 3D
 #: floorplan (Section 4: "reduced by 50%").
 REPEATER_REDUCTION = 0.5
@@ -67,7 +71,7 @@ class PowerBreakdown:
         )
 
 
-def planar_power_breakdown(total_w: float = 147.0) -> PowerBreakdown:
+def planar_power_breakdown(total_w: float = PLANAR_TDP_W) -> PowerBreakdown:
     """The planar 147 W skew decomposed into roll-up components.
 
     The split reflects a deeply pipelined 90 nm-class design: clock and
@@ -76,11 +80,11 @@ def planar_power_breakdown(total_w: float = 147.0) -> PowerBreakdown:
     latches).
     """
     fractions = PowerBreakdown(
-        logic=58.0 / 147.0,
-        clock_grid=26.0 / 147.0,
-        latches=20.0 / 147.0,
-        repeaters=22.0 / 147.0,
-        leakage=21.0 / 147.0,
+        logic=58.0 / PLANAR_TDP_W,
+        clock_grid=26.0 / PLANAR_TDP_W,
+        latches=20.0 / PLANAR_TDP_W,
+        repeaters=22.0 / PLANAR_TDP_W,
+        leakage=21.0 / PLANAR_TDP_W,
     )
     return PowerBreakdown(
         logic=fractions.logic * total_w,
@@ -117,11 +121,11 @@ def stacked_power_breakdown(
     )
 
 
-def stacked_power_w(total_planar_w: float = 147.0) -> float:
+def stacked_power_w(total_planar_w: float = PLANAR_TDP_W) -> float:
     """Total 3D power for a given planar total (paper: 125 W from 147 W)."""
     return stacked_power_breakdown(planar_power_breakdown(total_planar_w)).total
 
 
 def power_reduction_fraction() -> float:
     """The overall Logic+Logic power saving (paper: 15%)."""
-    return 1.0 - stacked_power_w(147.0) / 147.0
+    return 1.0 - stacked_power_w(PLANAR_TDP_W) / PLANAR_TDP_W

@@ -22,8 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
-from repro.core.stack import D2D_RC_FRACTION
 from repro.floorplan.blocks import Block, Floorplan
+from repro.floorplan.stacking import D2D_RC_FRACTION
 
 #: Delay of an optimally repeated global wire, picoseconds per millimetre.
 #: Latency-critical routes (load-to-use, RF-to-FP) ride the widest

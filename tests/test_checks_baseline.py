@@ -1,0 +1,140 @@
+"""Tests for baseline add/suppress/expire semantics and the lint engine."""
+
+import json
+
+import pytest
+
+from repro.checks.baseline import (
+    apply_baseline,
+    load_baseline,
+    save_baseline,
+)
+from repro.checks.diagnostics import CODES, Diagnostic
+from repro.checks.engine import (
+    load_files,
+    package_root,
+    render_text,
+    run_lint,
+    to_json,
+)
+
+
+def diag(code="RPL102", path="a.py", line=3, context="x = random.random()"):
+    return Diagnostic(path=path, line=line, col=0, code=code,
+                      message="m", context=context)
+
+
+class TestBaselineRoundTrip:
+    def test_save_then_load(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        entries = save_baseline(path, [diag(), diag(line=9)])
+        assert entries == {"RPL102|a.py|x = random.random()": 2}
+        assert load_baseline(path) == entries
+
+    def test_versioned_format_rejected_on_mismatch(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "entries": {}}))
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(path)
+
+    def test_malformed_entries_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 1, "entries": [1, 2]}))
+        with pytest.raises(ValueError, match="entries"):
+            load_baseline(path)
+
+
+class TestApplySemantics:
+    def test_suppresses_up_to_budget(self):
+        baseline = {diag().baseline_key: 1}
+        new, suppressed, stale = apply_baseline([diag()], baseline)
+        assert new == [] and len(suppressed) == 1 and stale == {}
+
+    def test_excess_findings_are_new(self):
+        baseline = {diag().baseline_key: 1}
+        new, suppressed, stale = apply_baseline(
+            [diag(line=3), diag(line=8)], baseline
+        )
+        assert len(new) == 1 and len(suppressed) == 1
+
+    def test_line_moves_do_not_unsuppress(self):
+        # same code/path/context, different line: still grandfathered
+        baseline = {diag(line=3).baseline_key: 1}
+        new, suppressed, _ = apply_baseline([diag(line=300)], baseline)
+        assert new == [] and len(suppressed) == 1
+
+    def test_fixed_violation_expires_as_stale(self):
+        baseline = {diag().baseline_key: 1, "RPL999|gone.py|old line": 2}
+        new, suppressed, stale = apply_baseline([diag()], baseline)
+        assert new == []
+        assert stale == {"RPL999|gone.py|old line": 2}
+
+    def test_no_baseline_everything_is_new(self):
+        new, suppressed, stale = apply_baseline([diag()], {})
+        assert len(new) == 1 and suppressed == [] and stale == {}
+
+
+class TestEngine:
+    def test_run_lint_on_repo_is_fast_and_baselined(self, tmp_path):
+        import time
+
+        start = time.perf_counter()
+        report = run_lint()
+        elapsed = time.perf_counter() - start
+        assert elapsed < 5.0, f"lint took {elapsed:.1f}s (budget 5s)"
+        # the shipped tree must be clean against the committed baseline
+        assert report.ok, [d.render() for d in report.new]
+        assert report.suppressed, "baseline should be exercised"
+        assert report.stale_baseline == {}
+
+    def test_select_filters_passes(self):
+        report = run_lint(select=["RPL4"])
+        assert all(d.code.startswith("RPL4") for d in report.diagnostics)
+
+    def test_injected_violation_fails(self, tmp_path):
+        report_clean = run_lint()
+        bad = tmp_path / "repro_bad"
+        bad.mkdir()
+        for pf in ("__init__.py",):
+            (bad / pf).write_text("")
+        (bad / "mod.py").write_text(
+            "import random\nVALUE = random.random()\n"
+        )
+        report = run_lint(root=bad, baseline_path=None)
+        assert not report.ok
+        assert [d.code for d in report.new] == ["RPL102"]
+        del report_clean
+
+    def test_unparseable_file_is_rpl000(self, tmp_path):
+        root = tmp_path / "pkg"
+        root.mkdir()
+        (root / "broken.py").write_text("def f(:\n")
+        report = run_lint(root=root, baseline_path=None)
+        assert [d.code for d in report.new] == ["RPL000"]
+
+    def test_render_text_shape(self):
+        report = run_lint()
+        text = render_text(report)
+        assert "verdict: OK" in text
+        assert "4 passes" in text
+
+    def test_json_shape(self):
+        payload = to_json(run_lint())
+        assert payload["version"] == 1
+        assert payload["passes"] == [
+            "determinism", "layering", "contracts", "physics",
+        ]
+        assert set(payload["codes"]) == set(CODES)
+        assert payload["ok"] is True
+        counts = payload["counts"]
+        assert counts["total"] == counts["new"] + counts["baselined"]
+        for entry in payload["diagnostics"]:
+            assert entry["code"] in CODES
+            assert isinstance(entry["baselined"], bool)
+
+    def test_load_files_maps_modules(self):
+        files = load_files(package_root())
+        by_rel = {pf.rel: pf.module for pf in files}
+        assert by_rel["thermal/solver.py"] == "repro.thermal.solver"
+        assert by_rel["__init__.py"] == "repro"
+        assert by_rel["traces/kernels/__init__.py"] == "repro.traces.kernels"

@@ -1,0 +1,111 @@
+"""Tests for the RPL3xx experiment-contract pass."""
+
+import ast
+import textwrap
+
+from repro.checks import contracts
+from repro.checks.diagnostics import PyFile
+from repro.checks.engine import load_files, package_root, repo_root
+
+
+def make_registry_file(source, rel=contracts.EXPERIMENTS_REL):
+    source = textwrap.dedent(source)
+    return PyFile(rel=rel, module="repro.core.experiments",
+                  tree=ast.parse(source), lines=source.splitlines())
+
+
+def codes(diags):
+    return sorted(d.code for d in diags)
+
+
+REGISTRY_TEMPLATE = """
+def _run_figure9(**kwargs):
+    {body}
+
+REGISTRY = [
+    Experiment(id="figure-9", title="t", paper_values={{}}, run=_run_figure9),
+]
+"""
+
+
+class TestExperimentContracts:
+    def test_docstring_naming_artifact_is_clean(self, tmp_path):
+        pf = make_registry_file(REGISTRY_TEMPLATE.format(
+            body='"""Figure 9: a floorplan."""'
+        ))
+        (tmp_path / "test_x.py").write_text("uses figure-9")
+        assert contracts.check_experiments(pf, tmp_path) == []
+
+    def test_missing_docstring_is_rpl301(self, tmp_path):
+        pf = make_registry_file(REGISTRY_TEMPLATE.format(body="return {}"))
+        (tmp_path / "test_x.py").write_text("uses figure-9")
+        assert codes(contracts.check_experiments(pf, tmp_path)) == ["RPL301"]
+
+    def test_docstring_not_naming_artifact_is_rpl302(self, tmp_path):
+        pf = make_registry_file(REGISTRY_TEMPLATE.format(
+            body='"""Some other words entirely."""'
+        ))
+        (tmp_path / "test_x.py").write_text("uses figure-9")
+        assert codes(contracts.check_experiments(pf, tmp_path)) == ["RPL302"]
+
+    def test_missing_kwargs_is_rpl303(self, tmp_path):
+        source = """
+        def _run_t(nx):
+            \"\"\"Table 9.\"\"\"
+
+        R = [Experiment(id="table-9", title="t", paper_values={}, run=_run_t)]
+        """
+        pf = make_registry_file(source)
+        (tmp_path / "test_x.py").write_text("uses table-9")
+        assert codes(contracts.check_experiments(pf, tmp_path)) == ["RPL303"]
+
+    def test_untested_experiment_is_rpl304(self, tmp_path):
+        pf = make_registry_file(REGISTRY_TEMPLATE.format(
+            body='"""Figure 9."""'
+        ))
+        (tmp_path / "test_x.py").write_text("nothing relevant")
+        assert codes(contracts.check_experiments(pf, tmp_path)) == ["RPL304"]
+
+    def test_no_tests_dir_skips_rpl304(self):
+        pf = make_registry_file(REGISTRY_TEMPLATE.format(
+            body='"""Figure 9."""'
+        ))
+        assert contracts.check_experiments(pf, None) == []
+
+
+class TestKernelTable1Mapping:
+    def test_known_workload_is_clean(self):
+        pf = make_registry_file("""
+        K = [KernelEntry("gauss", f, 1, "d")]
+        """, rel=contracts.KERNELS_REL)
+        diags = contracts.check_kernels(pf)
+        assert [d for d in diags if d.code == "RPL305"] == []
+
+    def test_rogue_kernel_is_rpl305(self):
+        pf = make_registry_file("""
+        K = [KernelEntry("linpack", f, 1, "d")]
+        """, rel=contracts.KERNELS_REL)
+        diags = contracts.check_kernels(pf)
+        assert "RPL305" in codes(diags)
+
+    def test_missing_table1_workload_is_rpl306(self):
+        pf = make_registry_file("""
+        K = [KernelEntry("gauss", f, 1, "d")]
+        """, rel=contracts.KERNELS_REL)
+        missing = [d for d in contracts.check_kernels(pf)
+                   if d.code == "RPL306"]
+        assert len(missing) == len(contracts.TABLE1_WORKLOADS) - 1
+
+    def test_empty_module_produces_nothing(self):
+        pf = make_registry_file("x = 1", rel=contracts.KERNELS_REL)
+        assert contracts.check_kernels(pf) == []
+
+
+class TestRepoRegistry:
+    def test_shipped_registry_is_contract_clean(self):
+        files = load_files(package_root())
+        tests_dir = repo_root() / "tests"
+        assert contracts.run(files, tests_dir=tests_dir) == []
+
+    def test_table1_set_matches_design_doc(self):
+        assert len(contracts.TABLE1_WORKLOADS) == 12

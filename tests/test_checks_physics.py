@@ -1,0 +1,95 @@
+"""Tests for the RPL4xx physics-hygiene pass."""
+
+import ast
+import textwrap
+
+from repro.checks import physics
+from repro.checks.diagnostics import PyFile
+
+
+def make_file(source, rel="thermal/model.py"):
+    source = textwrap.dedent(source)
+    return PyFile(rel=rel, module="repro." + rel[:-3].replace("/", "."),
+                  tree=ast.parse(source), lines=source.splitlines())
+
+
+def codes(diags):
+    return sorted(d.code for d in diags)
+
+
+class TestScope:
+    def test_materials_module_is_exempt(self):
+        assert not physics.in_scope("thermal/materials.py")
+
+    def test_thermal_and_power_in_scope(self):
+        assert physics.in_scope("thermal/solver.py")
+        assert physics.in_scope("uarch/power.py")
+
+    def test_other_packages_out_of_scope(self):
+        assert not physics.in_scope("memsim/dram.py")
+        assert not physics.in_scope("uarch/pipeline.py")
+
+
+class TestFindings:
+    def test_bare_material_literal_is_rpl401(self):
+        diags = physics.check_file(make_file("""
+            m = Material("mystery", 390.0)
+        """))
+        assert codes(diags) == ["RPL401"]
+
+    def test_material_from_names_is_clean(self):
+        diags = physics.check_file(make_file("""
+            m = Material(name, conductivity)
+        """))
+        assert diags == []
+
+    def test_with_conductivity_literal_is_rpl402(self):
+        diags = physics.check_file(make_file("""
+            layer2 = layer.with_conductivity(60.0)
+        """))
+        assert codes(diags) == ["RPL402"]
+
+    def test_physics_keyword_literal_is_rpl402(self):
+        diags = physics.check_file(make_file("""
+            stack = build(conductivity=12.0, name="x")
+        """))
+        assert codes(diags) == ["RPL402"]
+
+    def test_physics_default_literal_is_rpl403(self):
+        diags = physics.check_file(make_file("""
+            def solve(grid, total_w=147.0):
+                pass
+        """))
+        assert codes(diags) == ["RPL403"]
+
+    def test_named_constant_flows_are_clean(self):
+        diags = physics.check_file(make_file("""
+            from repro.thermal.materials import HEATSINK_H_EFF
+
+            def solve(grid, h_eff=HEATSINK_H_EFF):
+                return grid.apply(h_eff=h_eff)
+        """))
+        assert diags == []
+
+    def test_module_constants_are_not_flagged(self):
+        # named module-level constants ARE the remedy
+        diags = physics.check_file(make_file("""
+            LOCAL_H_EFF = 5400.0
+        """))
+        assert diags == []
+
+    def test_non_physics_keywords_ignored(self):
+        diags = physics.check_file(make_file("""
+            x = f(nx=48, ny=48, width=56)
+        """))
+        assert diags == []
+
+
+class TestRunScoping:
+    def test_out_of_scope_files_skipped(self):
+        dirty = make_file("m = Material('x', 1.5)", rel="memsim/dram.py")
+        assert physics.run([dirty]) == []
+
+    def test_in_scope_files_checked(self):
+        dirty = make_file("m = Material('x', 1.5)", rel="thermal/stack.py")
+        assert codes(physics.run([dirty])) == ["RPL401"]

@@ -102,6 +102,55 @@ class TestReplay:
         assert "replay failed" in proc.stderr
 
 
+class TestLint:
+    def test_shipped_tree_is_clean(self):
+        proc = run_cli("lint")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "verdict: OK" in proc.stdout
+
+    def test_injected_violation_exits_two(self, tmp_path):
+        bad = tmp_path / "pkg"
+        bad.mkdir()
+        (bad / "__init__.py").write_text("")
+        (bad / "mod.py").write_text("import random\nX = random.random()\n")
+        proc = run_cli("lint", "--root", str(bad), "--no-baseline")
+        assert proc.returncode == 2
+        assert "RPL102" in proc.stdout
+        assert "NEW VIOLATIONS" in proc.stdout
+
+    def test_json_format_schema(self):
+        proc = run_cli("lint", "--format", "json")
+        assert proc.returncode == 0
+        payload = json.loads(proc.stdout)
+        assert payload["version"] == 1
+        assert payload["ok"] is True
+        assert payload["passes"] == [
+            "determinism", "layering", "contracts", "physics",
+        ]
+        for entry in payload["diagnostics"]:
+            assert {"path", "line", "code", "message"} <= set(entry)
+
+    def test_baseline_suppresses_known_findings(self, tmp_path):
+        # without the committed baseline the grandfathered findings fail
+        without = run_cli("lint", "--no-baseline")
+        assert without.returncode == 2
+        # a freshly written baseline over the same tree restores exit 0
+        baseline = tmp_path / "baseline.json"
+        wrote = run_cli("lint", "--baseline", str(baseline),
+                        "--write-baseline")
+        assert wrote.returncode == 0
+        with_baseline = run_cli("lint", "--baseline", str(baseline))
+        assert with_baseline.returncode == 0
+        assert "baselined" in with_baseline.stdout
+
+    def test_select_narrows_to_one_family(self):
+        proc = run_cli("lint", "--select", "RPL4", "--no-baseline",
+                       "--format", "json")
+        payload = json.loads(proc.stdout)
+        assert all(d["code"].startswith("RPL4")
+                   for d in payload["diagnostics"])
+
+
 class TestSweep:
     def test_healthy_sweep_json_report(self, tmp_path):
         journal = tmp_path / "j.jsonl"
