@@ -1,0 +1,152 @@
+"""Timing, reporting, and regression gating for ``repro bench``.
+
+This is the only module in the package allowed to read the wall clock
+(see the RPL1xx determinism pass): benchmark *suites* hand callables to
+:func:`time_best` and never time anything themselves, which keeps every
+simulation path deterministic by construction.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+#: Report schema identifier; bump on incompatible layout changes.
+BENCH_SCHEMA = "repro-bench/1"
+
+#: A benchmark regresses when its speedup ratio drops more than this
+#: fraction below the baseline's.  Gating on the ratio of two timings
+#: from the *same* run makes the gate machine-independent: a slower CI
+#: box slows both sides of each pair.
+REGRESSION_THRESHOLD = 0.25
+
+PathLike = Union[str, Path]
+
+
+def time_best(fn: Callable[[], Any], repeats: int = 3) -> float:
+    """Best-of-*repeats* wall time of ``fn()``, in seconds.
+
+    Best-of (not mean) because scheduling noise is strictly additive;
+    the minimum is the closest observable to the true cost.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+@dataclass
+class BenchResult:
+    """One reference-vs-optimized benchmark pair.
+
+    Attributes:
+        name: Stable benchmark identifier (baseline matching key).
+        reference_s: Best-of time of the reference implementation.
+        optimized_s: Best-of time of the optimized path.
+        equivalent: True if the two paths produced equivalent results
+            (each suite defines and checks its own equivalence).
+        repeats: Repeats per side.
+        meta: Free-form detail (workload, grid size, record counts...).
+    """
+
+    name: str
+    reference_s: float
+    optimized_s: float
+    equivalent: bool = True
+    repeats: int = 3
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        """Reference time over optimized time (>1 means faster)."""
+        if self.optimized_s <= 0:
+            return float("inf")
+        return self.reference_s / self.optimized_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "reference_s": self.reference_s,
+            "optimized_s": self.optimized_s,
+            "speedup": self.speedup,
+            "equivalent": self.equivalent,
+            "repeats": self.repeats,
+            "meta": dict(self.meta),
+        }
+
+
+def write_report(
+    results: List[BenchResult],
+    path: PathLike,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Write a ``repro-bench/1`` JSON report; returns the report dict."""
+    report: Dict[str, Any] = {
+        "schema": BENCH_SCHEMA,
+        "results": [result.to_dict() for result in results],
+    }
+    if extra:
+        report.update(extra)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def load_report(path: PathLike) -> Dict[str, Any]:
+    """Load and schema-check a report written by :func:`write_report`."""
+    report = json.loads(Path(path).read_text())
+    if report.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {BENCH_SCHEMA!r}, "
+            f"got {report.get('schema')!r}"
+        )
+    return report
+
+
+def compare_to_baseline(
+    report: Dict[str, Any],
+    baseline: Dict[str, Any],
+    threshold: float = REGRESSION_THRESHOLD,
+) -> List[str]:
+    """Regression messages for speedups that fell below the baseline.
+
+    A benchmark regresses when ``speedup < baseline_speedup * (1 -
+    threshold)``.  Benchmarks present on only one side are ignored (new
+    benchmarks should not fail the gate retroactively); a pair whose
+    equivalence check failed always regresses — a fast wrong answer is
+    not a win.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must be in (0, 1)")
+    base_by_name = {
+        entry["name"]: entry for entry in baseline.get("results", [])
+    }
+    problems: List[str] = []
+    for entry in report.get("results", []):
+        name = entry["name"]
+        if not entry.get("equivalent", True):
+            problems.append(
+                f"{name}: optimized path is NOT equivalent to the reference"
+            )
+            continue
+        base = base_by_name.get(name)
+        if base is None:
+            continue
+        floor = base["speedup"] * (1.0 - threshold)
+        if entry["speedup"] < floor:
+            problems.append(
+                f"{name}: speedup {entry['speedup']:.2f}x fell below "
+                f"{floor:.2f}x (baseline {base['speedup']:.2f}x "
+                f"- {100 * threshold:.0f}%)"
+            )
+    return problems

@@ -1,0 +1,246 @@
+"""The benchmark pairs behind ``repro bench``.
+
+Each benchmark times a *reference* implementation against its optimized
+hot path and checks the two produce equivalent results before any
+timing is trusted:
+
+* ``trace-gen/<kernel>`` — per-record ``TraceGenerator.records()`` vs
+  the batched ``arrays()`` form (same stream, same RNG draws).
+* ``replay/<kernel>`` — per-record ``feed_many`` replay vs the chunked
+  ``feed_array`` fast path; equivalence is the full ``ReplayStats``
+  (hit/miss counters included) matching exactly.
+* ``thermal-steady`` — cold assembly + factorization vs the cached
+  operator/LU path; temperatures must be bit-identical.
+* ``thermal-transient`` — cold backward-Euler setup vs the cached
+  (geometry, dt) factorization; peak curves must be bit-identical.
+
+Timing happens only through :func:`repro.bench.harness.time_best`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.bench.harness import BenchResult, time_best
+from repro.floorplan.core2duo import core2duo_floorplan
+from repro.memsim.config import baseline_config
+from repro.memsim.replay import ReplayStats, replay_trace
+from repro.thermal.solver import (
+    SolverConfig,
+    clear_operator_cache,
+    solve_steady_state,
+)
+from repro.thermal.stack import build_planar_stack
+from repro.thermal.transient import solve_transient
+from repro.traces.generator import (
+    TraceGenerator,
+    WorkloadSpec,
+    records_to_array,
+)
+
+#: (kernel, n_records, warmup_fraction) per tier.  High-hit kernels
+#: (svd, gauss) stress the fast path's inline L1/L2 walks; pcg in the
+#: full tier keeps a miss-heavy workload honest.
+_REPLAY_PLAN = {
+    "quick": [("svd", 150_000, 0.5), ("gauss", 150_000, 0.35)],
+    "full": [
+        ("svd", 400_000, 0.5),
+        ("gauss", 400_000, 0.35),
+        ("pcg", 400_000, 0.35),
+    ],
+}
+
+_TRACE_GEN_PLAN = {
+    "quick": [("svd", 150_000)],
+    "full": [("svd", 400_000), ("gauss", 400_000)],
+}
+
+#: Memory scale divisor for replay benchmarks (matches the Section 3
+#: study default, where footprints exercise the L2).
+_REPLAY_SCALE = 8
+
+
+def _stats_signature(stats: ReplayStats) -> Dict[str, Any]:
+    """The equivalence-relevant fields of a :class:`ReplayStats`."""
+    return {
+        "n_accesses": stats.n_accesses,
+        "cpma": stats.cpma,
+        "avg_latency": stats.avg_latency,
+        "wall_cycles": stats.wall_cycles,
+        "bandwidth_gbps": stats.bandwidth_gbps,
+        "level_counts": dict(stats.level_counts),
+        "level_latency": dict(stats.level_latency),
+        "offchip_fraction": stats.offchip_fraction,
+        "invalidations": stats.invalidations,
+    }
+
+
+def bench_trace_generation(
+    kernel: str, n_records: int, seed: int, repeats: int
+) -> BenchResult:
+    """records() (per-record objects) vs arrays() (batched rows)."""
+    spec = WorkloadSpec(name=kernel, n_records=n_records, seed=seed)
+    generator = TraceGenerator(spec, scale=_REPLAY_SCALE)
+    reference = list(generator.records())
+    array = generator.arrays()
+    equivalent = bool(
+        np.array_equal(records_to_array(reference), array)
+    )
+    reference_s = time_best(lambda: list(generator.records()), repeats)
+    optimized_s = time_best(generator.arrays, repeats)
+    return BenchResult(
+        name=f"trace-gen/{kernel}",
+        reference_s=reference_s,
+        optimized_s=optimized_s,
+        equivalent=equivalent,
+        repeats=repeats,
+        meta={"n_records": n_records, "seed": seed},
+    )
+
+
+def bench_replay(
+    kernel: str,
+    n_records: int,
+    warmup_fraction: float,
+    seed: int,
+    repeats: int,
+) -> BenchResult:
+    """Per-record feed vs the chunked array fast path, counters pinned."""
+    spec = WorkloadSpec(name=kernel, n_records=n_records, seed=seed)
+    generator = TraceGenerator(spec, scale=_REPLAY_SCALE)
+    records = list(generator.records())
+    array = generator.arrays()
+    config = baseline_config(_REPLAY_SCALE)
+
+    def run_reference() -> ReplayStats:
+        return replay_trace(records, config, warmup_fraction=warmup_fraction)
+
+    def run_optimized() -> ReplayStats:
+        return replay_trace(array, config, warmup_fraction=warmup_fraction)
+
+    equivalent = _stats_signature(run_reference()) == _stats_signature(
+        run_optimized()
+    )
+    reference_s = time_best(run_reference, repeats)
+    optimized_s = time_best(run_optimized, repeats)
+    return BenchResult(
+        name=f"replay/{kernel}",
+        reference_s=reference_s,
+        optimized_s=optimized_s,
+        equivalent=equivalent,
+        repeats=repeats,
+        meta={
+            "n_records": n_records,
+            "warmup_fraction": warmup_fraction,
+            "seed": seed,
+            "scale": _REPLAY_SCALE,
+        },
+    )
+
+
+def bench_thermal_steady(nx: int, repeats: int) -> BenchResult:
+    """Cold assemble+factorize+solve vs the cached-operator solve."""
+    stack = build_planar_stack(core2duo_floorplan())
+    config = SolverConfig(nx=nx, ny=nx)
+
+    def run_cold():
+        clear_operator_cache()
+        return solve_steady_state(stack, config)
+
+    cold_solution = run_cold()
+    reference_s = time_best(run_cold, repeats)
+    # Prime the cache, then time the warm path.
+    warm_solution = solve_steady_state(stack, config)
+    equivalent = bool(
+        np.array_equal(cold_solution.temperature, warm_solution.temperature)
+    )
+    optimized_s = time_best(
+        lambda: solve_steady_state(stack, config), repeats
+    )
+    return BenchResult(
+        name="thermal-steady",
+        reference_s=reference_s,
+        optimized_s=optimized_s,
+        equivalent=equivalent,
+        repeats=repeats,
+        meta={"nx": nx},
+    )
+
+
+def bench_thermal_transient(
+    nx: int, steps: int, repeats: int
+) -> BenchResult:
+    """Cold backward-Euler setup vs the cached (geometry, dt) LU."""
+    stack = build_planar_stack(core2duo_floorplan())
+    config = SolverConfig(nx=nx, ny=nx)
+    dt_s = 0.05
+    duration_s = steps * dt_s
+
+    def run_cold():
+        clear_operator_cache()
+        return solve_transient(
+            stack, config, duration_s=duration_s, dt_s=dt_s
+        )
+
+    cold_result = run_cold()
+    reference_s = time_best(run_cold, repeats)
+    warm_result = solve_transient(
+        stack, config, duration_s=duration_s, dt_s=dt_s
+    )
+    equivalent = cold_result.peak_c == warm_result.peak_c
+    optimized_s = time_best(
+        lambda: solve_transient(
+            stack, config, duration_s=duration_s, dt_s=dt_s
+        ),
+        repeats,
+    )
+    return BenchResult(
+        name="thermal-transient",
+        reference_s=reference_s,
+        optimized_s=optimized_s,
+        equivalent=equivalent,
+        repeats=repeats,
+        meta={"nx": nx, "steps": steps, "dt_s": dt_s},
+    )
+
+
+def run_suite(
+    quick: bool = True,
+    seed: int = 1234,
+    repeats: int = 3,
+    progress: Optional[Any] = None,
+) -> List[BenchResult]:
+    """Run the benchmark tier; returns one result per pair.
+
+    Args:
+        quick: Small inputs (~½ minute, the CI gate tier) vs the full
+            tier's larger traces and finer grids.
+        seed: Trace-generation seed (both sides of every pair share it).
+        repeats: Best-of repeats per timing.
+        progress: Optional ``print``-like callable for per-benchmark
+            status lines.
+    """
+    tier = "quick" if quick else "full"
+    say = progress or (lambda message: None)
+    results: List[BenchResult] = []
+
+    for kernel, n_records in _TRACE_GEN_PLAN[tier]:
+        say(f"bench trace-gen/{kernel} ({n_records} records)...")
+        results.append(
+            bench_trace_generation(kernel, n_records, seed, repeats)
+        )
+    for kernel, n_records, warmup in _REPLAY_PLAN[tier]:
+        say(f"bench replay/{kernel} ({n_records} records)...")
+        results.append(
+            bench_replay(kernel, n_records, warmup, seed, repeats)
+        )
+    nx = 40 if quick else 48
+    say(f"bench thermal-steady (nx={nx})...")
+    results.append(bench_thermal_steady(nx, repeats))
+    nx_t = 32 if quick else 40
+    steps = 10 if quick else 20
+    say(f"bench thermal-transient (nx={nx_t}, {steps} steps)...")
+    results.append(bench_thermal_transient(nx_t, steps, repeats))
+    return results

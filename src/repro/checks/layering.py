@@ -42,6 +42,7 @@ DEFAULT_LAYERS: Dict[str, int] = {
     "analysis": 4,
     "validation": 4,
     "checks": 4,
+    "bench": 4,
     "cli": 5,
     "__main__": 6,  # delegates to cli by design
     "repro": 6,  # the top-level __init__ re-exports from anywhere

@@ -19,6 +19,9 @@ Commands:
 * ``lint`` — run the four static invariant passes (determinism,
   layering, experiment contracts, physics hygiene) over the source
   tree; exits 2 on violations not grandfathered by the baseline.
+* ``bench`` — time the simulator hot paths against their reference
+  implementations, write a ``BENCH_repro.json`` report, and optionally
+  gate against a committed baseline (exit 1 on a speedup regression).
 """
 
 from __future__ import annotations
@@ -207,6 +210,60 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.checks.engine import main as lint_main
 
     return lint_main(args)
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        compare_to_baseline,
+        load_report,
+        run_suite,
+        write_report,
+    )
+
+    quick = not args.full
+    results = run_suite(
+        quick=quick,
+        seed=args.seed,
+        repeats=args.repeats,
+        progress=lambda message: print(message, file=sys.stderr),
+    )
+    report = write_report(
+        results,
+        args.out,
+        extra={"tier": "quick" if quick else "full", "seed": args.seed},
+    )
+    print(f"wrote {args.out}")
+    for result in results:
+        marker = "ok " if result.equivalent else "FAIL-EQUIV"
+        print(
+            f"  {marker} {result.name:22} "
+            f"ref {1e3 * result.reference_s:9.1f} ms  "
+            f"opt {1e3 * result.optimized_s:9.1f} ms  "
+            f"{result.speedup:6.2f}x"
+        )
+    failed_equivalence = [r.name for r in results if not r.equivalent]
+    if failed_equivalence:
+        print(
+            f"bench: equivalence FAILED for {failed_equivalence}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.baseline:
+        try:
+            baseline = load_report(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"bench: cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+        problems = compare_to_baseline(
+            report, baseline, threshold=args.threshold
+        )
+        if problems:
+            print("bench: REGRESSIONS vs baseline:", file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+        print(f"no regressions vs {args.baseline}")
+    return 0
 
 
 def _cmd_memory(args: argparse.Namespace) -> int:
@@ -435,6 +492,29 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--verbose", action="store_true",
                       help="also print baselined (suppressed) findings")
 
+    bench = sub.add_parser(
+        "bench",
+        help="micro-benchmark the simulator hot paths and gate against "
+             "a baseline report",
+    )
+    tier = bench.add_mutually_exclusive_group()
+    tier.add_argument("--quick", action="store_true", default=True,
+                      help="small-input tier, ~half a minute (default; "
+                           "the CI gate)")
+    tier.add_argument("--full", action="store_true",
+                      help="large traces and finer grids (a few minutes)")
+    bench.add_argument("--out", default="BENCH_repro.json",
+                       help="report destination (repro-bench/1 JSON)")
+    bench.add_argument("--baseline", metavar="FILE",
+                       help="gate speedups against this earlier report; "
+                            "exit 1 on a regression")
+    bench.add_argument("--threshold", type=float, default=0.25,
+                       help="allowed fractional speedup drop vs baseline")
+    bench.add_argument("--seed", type=int, default=1234,
+                       help="trace-generation seed")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="best-of repeats per timing")
+
     memory = sub.add_parser("memory", help="Section 3 Memory+Logic study")
     memory.add_argument("--workloads", help="comma-separated kernel names")
     memory.add_argument("--scale", type=int, default=8)
@@ -480,6 +560,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "replay": _cmd_replay,
         "sweep": _cmd_sweep,
         "lint": _cmd_lint,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)
 

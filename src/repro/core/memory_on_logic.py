@@ -209,7 +209,7 @@ def run_performance_study(
         n_records, warmup = TRACE_PLAN[name]
         n_records = max(10_000, int(n_records * length_factor))
         spec = WorkloadSpec(name=name, n_records=n_records, seed=seed)
-        records = list(TraceGenerator(spec, scale=scale).records())
+        records = TraceGenerator(spec, scale=scale).arrays()
         cpma[name] = {}
         bandwidth[name] = {}
         bus_power[name] = {}

@@ -48,19 +48,25 @@ class SetAssociativeCache:
 
     def fill(self, line: int, dirty: bool = False) -> Optional[Tuple[int, bool]]:
         """Install a line; returns ``(victim_line, victim_dirty)`` if a
-        line was evicted, else None."""
+        line was evicted, else None.
+
+        Re-filling an already-resident line refreshes its LRU position
+        without evicting anything, and *merges* the dirty bit: a line
+        dirtied by an earlier write stays dirty when re-installed clean,
+        so its eventual eviction still writes it back.
+        """
         index = line & self._set_mask
         entries = self._sets[index]
         victim = None
-        if line not in entries and len(entries) >= self.config.ways:
+        previous = entries.pop(line, None)
+        if previous is None and len(entries) >= self.config.ways:
             victim_line = next(iter(entries))
             victim_dirty = entries.pop(victim_line)
             victim = (victim_line, victim_dirty)
             self.evictions += 1
             if victim_dirty:
                 self.writebacks += 1
-        entries.pop(line, None)
-        entries[line] = dirty
+        entries[line] = dirty if previous is None else (previous or dirty)
         return victim
 
     def invalidate(self, line: int) -> bool:
@@ -71,6 +77,32 @@ class SetAssociativeCache:
     def contains(self, line: int) -> bool:
         """Presence check without touching LRU state or stats."""
         return line in self._sets[line & self._set_mask]
+
+    # -- integer-keyed fast path --------------------------------------------
+
+    def fast_state(self) -> Tuple[List[Dict[int, bool]], int]:
+        """The ``(sets, mask)`` pair backing the chunked replay fast path.
+
+        Contract (mirrors :meth:`lookup` exactly): the caller indexes
+        ``sets[line & mask]``, tests a hit with ``entries.pop(line,
+        None)``, and on a hit re-inserts the line as most-recent with
+        ``entries[line] = previous_dirty or write``.  Hits handled this
+        way bypass the :attr:`hits` counter and MUST be credited back
+        with :meth:`add_fast_hits`; misses must go through the normal
+        :meth:`lookup`/:meth:`fill` path so miss/eviction/writeback
+        accounting stays exact.
+        """
+        return self._sets, self._set_mask
+
+    def add_fast_hits(self, n: int) -> None:
+        """Credit *n* hits recorded by a fast-path caller (see
+        :meth:`fast_state`)."""
+        self.hits += n
+
+    def add_fast_misses(self, n: int) -> None:
+        """Credit *n* misses recorded by a fast-path caller that walked
+        the miss continuation inline instead of via :meth:`lookup`."""
+        self.misses += n
 
     def resident_lines(self) -> int:
         """Number of lines currently resident (for tests/inspection)."""

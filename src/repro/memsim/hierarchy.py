@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, NamedTuple, Optional
 
 from repro.memsim.bus import OffDieBus
 from repro.memsim.cache import SetAssociativeCache
@@ -28,6 +28,43 @@ L1 = "l1"
 L2 = "l2"
 STACKED = "stacked"
 MEMORY = "memory"
+
+
+class FastPathState(NamedTuple):
+    """Hot state handed to the chunked replay loop (see
+    :meth:`MemoryHierarchy.fastpath_state`).
+
+    Attributes:
+        d_sets: Per-cpu L1D LRU sets (``SetAssociativeCache.fast_state``).
+        d_mask: L1D set-index mask.
+        i_sets: Per-cpu L1I LRU sets.
+        i_mask: L1I set-index mask.
+        l2_sets: Shared-L2 LRU sets, or None when the config has no L2.
+        l2_mask: L2 set-index mask (0 without an L2).
+        miss_history: Per-cpu recent-miss deques (prefetch detector).
+        directory: The coherence directory (line -> cpu bitmask).
+        line_shift: Byte-address to line-number shift.
+        lat_l1d: L1D hit latency, cycles.
+        lat_l1i: L1I hit latency, cycles.
+        lat_l2: L2 hit latency, cycles (0 without an L2).
+        invalidate_other_copies: Bound coherence callback for write hits.
+        fill_l1: Bound L1 install helper (directory + victim writeback).
+    """
+
+    d_sets: List[List[Dict[int, bool]]]
+    d_mask: int
+    i_sets: List[List[Dict[int, bool]]]
+    i_mask: int
+    l2_sets: Optional[List[Dict[int, bool]]]
+    l2_mask: int
+    miss_history: List[deque]
+    directory: Dict[int, int]
+    line_shift: int
+    lat_l1d: int
+    lat_l1i: int
+    lat_l2: int
+    invalidate_other_copies: Callable[[int, int], None]
+    fill_l1: Callable[[int, int, bool], None]
 
 
 @dataclass(frozen=True)
@@ -299,6 +336,67 @@ class MemoryHierarchy:
         self.level_counts[MEMORY] += 1
         self.offchip_accesses += 1
         return AccessResult(data_done, MEMORY, True)
+
+    # -- chunked-replay fast path -------------------------------------------
+
+    def fastpath_state(self) -> FastPathState:
+        """Bundle the hot L1/coherence state for chunked replay.
+
+        The chunked replayer (:meth:`repro.memsim.replay.TraceReplayer.
+        feed_array`) inlines the L1 hit path — the one walked by ~90% of
+        references — directly against these dicts, following the
+        :meth:`SetAssociativeCache.fast_state` contract.  Anything that
+        is not a clean L1 hit must still be routed through
+        :meth:`access`/:meth:`ifetch`, and bypassed hit counts must be
+        flushed back with :meth:`flush_fast_counts` so every counter
+        stays bit-identical to the per-record path.
+        """
+        l2_sets, l2_mask = (
+            self.l2.fast_state() if self.l2 is not None else (None, 0)
+        )
+        return FastPathState(
+            d_sets=[cache.fast_state()[0] for cache in self.l1s],
+            d_mask=self.l1s[0].fast_state()[1],
+            i_sets=[cache.fast_state()[0] for cache in self.l1is],
+            i_mask=self.l1is[0].fast_state()[1],
+            l2_sets=l2_sets,
+            l2_mask=l2_mask,
+            miss_history=self._miss_history,
+            directory=self._directory,
+            line_shift=self._line_shift,
+            lat_l1d=self.config.l1d.latency,
+            lat_l1i=self.config.l1i.latency,
+            lat_l2=self.config.l2.latency if self.config.l2 else 0,
+            invalidate_other_copies=self._invalidate_other_copies,
+            fill_l1=self._fill_l1,
+        )
+
+    def flush_fast_counts(
+        self,
+        d_hits: List[int],
+        i_hits: List[int],
+        l1_level_count: int,
+        d_misses: Optional[List[int]] = None,
+        l2_hits: int = 0,
+        l2_level_count: int = 0,
+    ) -> None:
+        """Fold fast-path hit/miss tallies back into the real counters."""
+        for cpu, hits in enumerate(d_hits):
+            if hits:
+                self.l1s[cpu].add_fast_hits(hits)
+        for cpu, hits in enumerate(i_hits):
+            if hits:
+                self.l1is[cpu].add_fast_hits(hits)
+        if l1_level_count:
+            self.level_counts[L1] += l1_level_count
+        if d_misses is not None:
+            for cpu, misses in enumerate(d_misses):
+                if misses:
+                    self.l1s[cpu].add_fast_misses(misses)
+        if l2_hits:
+            self.l2.add_fast_hits(l2_hits)
+        if l2_level_count:
+            self.level_counts[L2] += l2_level_count
 
     # -- stats ---------------------------------------------------------------
 

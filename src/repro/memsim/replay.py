@@ -34,10 +34,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Union
 
+import numpy as np
+
 from repro.memsim.config import HierarchyConfig
-from repro.memsim.hierarchy import L1, MemoryHierarchy
+from repro.memsim.hierarchy import L1, L2, MemoryHierarchy
 from repro.resilience.checkpoint import load_checkpoint, save_checkpoint
 from repro.resilience.guards import TraceGuard
+from repro.traces.generator import TRACE_DTYPE, array_to_records
 from repro.traces.record import AccessType, TraceRecord
 
 #: Completion-table pruning: drop entries this many uids behind the head.
@@ -267,6 +270,326 @@ class TraceReplayer:
                 break
         return consumed
 
+    # -- the chunked (batched) hot path --------------------------------------
+
+    def feed_array(
+        self,
+        array: np.ndarray,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        stop_after: Optional[int] = None,
+    ) -> int:
+        """Replay a :data:`~repro.traces.generator.TRACE_DTYPE` batch.
+
+        Bit-identical to calling :meth:`feed` on each row in order — the
+        L1-hit path (the vast majority of references) is inlined against
+        the raw cache dicts (:meth:`MemoryHierarchy.fastpath_state`),
+        everything else falls back to the per-record hierarchy walk, and
+        bypassed hit tallies are flushed back at span boundaries.  The
+        batch path trusts the array's producer: rows skip the
+        construction-time :class:`TraceRecord` validation (a malformed
+        row fails with an ordinary IndexError/KeyError, not
+        ``TraceCorruptionError``) unless a guard is installed, in which
+        case rows are validated and replayed one record at a time.
+
+        Args/returns as :meth:`feed_many`.
+        """
+        if array.dtype != TRACE_DTYPE:
+            raise ValueError(
+                f"feed_array needs a TRACE_DTYPE array, got {array.dtype}"
+            )
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise ValueError("checkpoint_every must be >= 1")
+            if checkpoint_path is None:
+                raise ValueError("checkpoint_every requires checkpoint_path")
+        n = len(array)
+        if stop_after is not None:
+            n = min(n, stop_after)
+        if self.guard is not None:
+            # Guard admission needs validated records; take the exact
+            # per-record path so quarantine accounting stays identical.
+            return self.feed_many(
+                array_to_records(array[:n]),
+                checkpoint_every=checkpoint_every,
+                checkpoint_path=checkpoint_path,
+            )
+        consumed = 0
+        while consumed < n:
+            stop = n
+            if checkpoint_every:
+                stop = min(
+                    n, (consumed // checkpoint_every + 1) * checkpoint_every
+                )
+            self._feed_rows(array, consumed, stop)
+            consumed = stop
+            if checkpoint_every and consumed % checkpoint_every == 0:
+                self.checkpoint(checkpoint_path)
+        return consumed
+
+    def _feed_rows(self, array: np.ndarray, start: int, stop: int) -> None:
+        """Feed ``array[start:stop]``, splitting at the warmup boundary."""
+        warmup_until = self.warmup_until
+        if warmup_until and self.index < warmup_until:
+            boundary = start + (warmup_until - self.index)
+            if boundary > stop:
+                self._feed_span(array, start, stop, measure=False)
+                return
+            self._feed_span(array, start, boundary, measure=False)
+            # The warmup boundary, exactly as _maybe_end_warmup does it:
+            # discard warmup statistics, then measure from the cycle the
+            # warmed pipeline has actually reached.
+            self.hierarchy.reset_stats()
+            self._measure_start = max(
+                max(self._next_free),
+                max((r[-1] for r in self._robs if r), default=0.0),
+            )
+            self._measured = 0
+            self._latency_sum = 0.0
+            self._level_latency_sum.clear()
+            self._level_latency_n.clear()
+            start = boundary
+        if start < stop:
+            self._feed_span(array, start, stop, measure=True)
+
+    def _feed_span(
+        self, array: np.ndarray, start: int, stop: int, measure: bool
+    ) -> None:
+        """The chunk inner loop: replay ``array[start:stop]`` inlined.
+
+        Two walks are inlined against the raw cache dicts — the L1 hit
+        and the L1-miss/L2-hit continuation (together the vast majority
+        of references); everything else, including the rare
+        sequential-miss prefetch trigger, falls back to the per-record
+        hierarchy walk.  Per-record issue slots and the dependent-load
+        predicate are precomputed with numpy (both are exact: slots are
+        integral doubles, the predicate is pure integer logic).  Every
+        state mutation lands in the same order as :meth:`feed`, so
+        counters, timing, and float accumulation match the per-record
+        path bit for bit.
+        """
+        if start >= stop:
+            return
+        hierarchy = self.hierarchy
+        fp = hierarchy.fastpath_state()
+        d_sets = fp.d_sets
+        d_mask = fp.d_mask
+        i_sets = fp.i_sets
+        i_mask = fp.i_mask
+        l2_sets = fp.l2_sets
+        l2_mask = fp.l2_mask
+        miss_history = fp.miss_history
+        line_shift = fp.line_shift
+        lat_l1d = fp.lat_l1d
+        lat_l1i = fp.lat_l1i
+        lat_l2 = fp.lat_l2
+        invalidate_other = fp.invalidate_other_copies
+        fill_l1 = fp.fill_l1
+        mshrs = hierarchy.config.mshrs_per_cpu
+        window = hierarchy.config.reorder_window
+        access = hierarchy.access
+        ifetch = hierarchy.ifetch
+        next_free = self._next_free
+        outstanding = self._outstanding
+        robs = self._robs
+        completion_table = self._completion
+        completion_get = completion_table.get
+        level_latency_sum = self._level_latency_sum
+        level_latency_n = self._level_latency_n
+        end_time = self._end_time
+        latency_sum = self._latency_sum
+        measured = self._measured
+        n_cpus = len(next_free)
+        d_hits = [0] * n_cpus
+        d_misses = [0] * n_cpus
+        i_hits = [0] * n_cpus
+        l2_fast_hits = 0
+        # Level-latency buckets for the two inlined levels stay in
+        # locals (sequential accumulation from the current dict values,
+        # written back below — same additions in the same order).
+        l1_lat_sum = level_latency_sum.get(L1, 0.0)
+        l1_lat_n0 = level_latency_n.get(L1, 0)
+        l1_lat_n = l1_lat_n0
+        l2_lat_sum = level_latency_sum.get(L2, 0.0)
+        l2_lat_n0 = level_latency_n.get(L2, 0)
+        l2_lat_n = l2_lat_n0
+
+        span = array[start:stop]
+        cpu_col = span["cpu"]
+        kind_col = span["kind"]
+        dep_col = span["dep_uid"]
+        # Issue slots advance at one reference per cpu per cycle; the
+        # whole slot sequence for the span is known up front.  The
+        # values are integral doubles, so base + arange reproduces the
+        # sequential base + 1.0 + 1.0 + ... additions exactly.
+        slot_col = np.empty(len(span), dtype=np.float64)
+        for c in range(n_cpus):
+            taken = cpu_col == c
+            count = int(taken.sum())
+            if count:
+                base = next_free[c]
+                slot_col[taken] = base + np.arange(count, dtype=np.float64)
+                next_free[c] = base + float(count)
+        # Fold the dependent-LOAD predicate into the dep column: -1
+        # means "no wait", matching feed()'s dep>=0-and-LOAD test.
+        dep_col = np.where((dep_col >= 0) & (kind_col == 0), dep_col, -1)
+
+        for uid, cpu, kind, address, dep, t in zip(
+            span["uid"].tolist(),
+            cpu_col.tolist(),
+            kind_col.tolist(),
+            span["address"].tolist(),
+            dep_col.tolist(),
+            slot_col.tolist(),
+        ):
+            rob = robs[cpu]
+            if len(rob) >= window:
+                oldest = rob.popleft()
+                if oldest > t:
+                    t = oldest
+
+            if kind == 2:  # IFETCH (MSHR presence checks the L1D, as feed does)
+                line = address >> line_shift
+                if line not in d_sets[cpu][line & d_mask]:
+                    misses = outstanding[cpu]
+                    if misses:
+                        if len(misses) >= mshrs and misses[0] > t:
+                            t = misses[0]
+                        done = 0
+                        for value in misses:
+                            if value <= t:
+                                done += 1
+                            else:
+                                break
+                        if done:
+                            del misses[:done]
+                i_entries = i_sets[cpu][line & i_mask]
+                previous = i_entries.pop(line, None)
+                if previous is not None:
+                    i_entries[line] = previous
+                    i_hits[cpu] += 1
+                    comp = t + lat_l1i
+                    level = L1
+                else:
+                    result = ifetch(cpu, address, t)
+                    comp = result.completion
+                    level = result.level
+                    insort(outstanding[cpu], comp)
+            else:
+                if dep >= 0:  # dependent LOAD (predicate folded above)
+                    dep_done = completion_get(dep)
+                    if dep_done is not None and dep_done > t:
+                        t = dep_done
+                line = address >> line_shift
+                d_entries = d_sets[cpu][line & d_mask]
+                previous = d_entries.pop(line, None)
+                if previous is not None:  # L1D hit
+                    if kind == 1:  # STORE write hit
+                        d_entries[line] = True
+                        invalidate_other(cpu, line)
+                    else:
+                        d_entries[line] = previous
+                    d_hits[cpu] += 1
+                    comp = t + lat_l1d
+                    level = L1
+                else:
+                    misses = outstanding[cpu]
+                    if misses:
+                        if len(misses) >= mshrs and misses[0] > t:
+                            t = misses[0]
+                        done = 0
+                        for value in misses:
+                            if value <= t:
+                                done += 1
+                            else:
+                                break
+                        if done:
+                            del misses[:done]
+                    history = miss_history[cpu]
+                    if (
+                        l2_sets is not None
+                        and line in l2_sets[line & l2_mask]
+                        and (line - 1) not in history
+                        and (line - 2) not in history
+                    ):
+                        # Inlined L1-miss -> L2-hit walk, mirroring
+                        # access(): miss accounting, write-invalidate,
+                        # miss-history append (the stream detector did
+                        # not fire — sequential misses take the slow
+                        # path so the prefetcher runs for real), L2
+                        # LRU touch, L1 install.
+                        d_misses[cpu] += 1
+                        write = kind == 1
+                        if write:
+                            invalidate_other(cpu, line)
+                        history.append(line)
+                        l2_entries = l2_sets[line & l2_mask]
+                        l2_entries[line] = l2_entries.pop(line) or write
+                        l2_fast_hits += 1
+                        fill_l1(cpu, line, write)
+                        comp = (t + lat_l1d) + lat_l2
+                        level = L2
+                    else:
+                        result = access(cpu, kind == 1, address, t)
+                        comp = result.completion
+                        level = result.level
+                    insort(misses, comp)
+
+            if kind == 0:  # LOAD
+                completion_table[uid] = comp
+                if len(completion_table) > _PRUNE_EVERY:
+                    cutoff = uid - _PRUNE_WINDOW
+                    completion_table = {
+                        u: done
+                        for u, done in completion_table.items()
+                        if u >= cutoff
+                    }
+                    completion_get = completion_table.get
+                    self._completion = completion_table
+
+            retire = comp
+            if rob and rob[-1] > retire:
+                retire = rob[-1]
+            rob.append(retire)
+            if retire > end_time:
+                end_time = retire
+
+            if measure:
+                latency = comp - t
+                latency_sum += latency
+                if level == L1:
+                    l1_lat_sum += latency
+                    l1_lat_n += 1
+                elif level == L2:
+                    l2_lat_sum += latency
+                    l2_lat_n += 1
+                else:
+                    level_latency_sum[level] = (
+                        level_latency_sum.get(level, 0.0) + latency
+                    )
+                    level_latency_n[level] = level_latency_n.get(level, 0) + 1
+
+        self.index += stop - start
+        self._end_time = end_time
+        self._latency_sum = latency_sum
+        if measure:
+            measured += stop - start
+        self._measured = measured
+        if l1_lat_n != l1_lat_n0:
+            level_latency_sum[L1] = l1_lat_sum
+            level_latency_n[L1] = l1_lat_n
+        if l2_lat_n != l2_lat_n0:
+            level_latency_sum[L2] = l2_lat_sum
+            level_latency_n[L2] = l2_lat_n
+        hierarchy.flush_fast_counts(
+            d_hits,
+            i_hits,
+            sum(d_hits) + sum(i_hits),
+            d_misses,
+            l2_fast_hits,
+            l2_fast_hits,
+        )
+
     # -- finalization --------------------------------------------------------
 
     def stats(self) -> ReplayStats:
@@ -318,7 +641,7 @@ class TraceReplayer:
 
 
 def replay_trace(
-    records: Iterable[TraceRecord],
+    records: Union[Iterable[TraceRecord], np.ndarray],
     config: Optional[HierarchyConfig] = None,
     hierarchy: Optional[MemoryHierarchy] = None,
     warmup_fraction: float = 0.3,
@@ -331,7 +654,10 @@ def replay_trace(
     """Replay a trace and measure CPMA, bandwidth, and bus power.
 
     Args:
-        records: The trace (any iterable of :class:`TraceRecord`).
+        records: The trace — any iterable of :class:`TraceRecord`, or a
+            :data:`~repro.traces.generator.TRACE_DTYPE` structured array
+            (the batched form; replayed through the chunked fast path
+            with identical results).
         config: Hierarchy configuration (Table 3 baseline by default).
         hierarchy: A pre-built hierarchy to use instead of *config*
             (useful for warmed or instrumented instances).
@@ -359,9 +685,13 @@ def replay_trace(
     if mode not in (None, "strict", "lenient"):
         raise ValueError(f"mode must be 'strict' or 'lenient', got {mode!r}")
 
+    is_array = isinstance(records, np.ndarray)
     if resume_from is not None:
         replayer = TraceReplayer.restore(resume_from)
-        records = itertools.islice(iter(records), replayer.index, None)
+        if is_array:
+            records = records[replayer.index :]
+        else:
+            records = itertools.islice(iter(records), replayer.index, None)
     else:
         try:
             total = len(records)  # type: ignore[arg-type]
@@ -378,9 +708,16 @@ def replay_trace(
         replayer = TraceReplayer(
             hierarchy=hierarchy, warmup_until=warmup_until, guard=guard
         )
-    replayer.feed_many(
-        records,
-        checkpoint_every=checkpoint_every,
-        checkpoint_path=checkpoint_path,
-    )
+    if is_array:
+        replayer.feed_array(
+            records,
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
+        )
+    else:
+        replayer.feed_many(
+            records,
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
+        )
     return replayer.stats()

@@ -88,6 +88,12 @@ class Journal:
             line = line.replace("\n", " ")
         if self._handle is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
+            # A run killed mid-write leaves a torn final line with no
+            # newline; appending straight after it would weld this entry
+            # onto the torn tail and lose BOTH (the merged line parses as
+            # neither).  Terminate the tail first so only the torn line
+            # is sacrificed.
+            self._repair_torn_tail()
             # long-lived handle by design; closed in close()
             self._handle = open(  # noqa: SIM115
                 self.path, "a", encoding="utf-8"
@@ -95,6 +101,21 @@ class Journal:
         self._handle.write(line + "\n")
         self._handle.flush()
         os.fsync(self._handle.fileno())
+
+    def _repair_torn_tail(self) -> None:
+        """Newline-terminate the file if its last byte is not ``\\n``."""
+        try:
+            size = self.path.stat().st_size
+        except FileNotFoundError:
+            return
+        if size == 0:
+            return
+        with open(self.path, "rb+") as handle:
+            handle.seek(-1, os.SEEK_END)
+            if handle.read(1) != b"\n":
+                handle.write(b"\n")
+                handle.flush()
+                os.fsync(handle.fileno())
 
     def close(self) -> None:
         if self._handle is not None:

@@ -25,8 +25,12 @@ from repro.thermal.stack import (
 from repro.thermal.solver import (
     DiscreteSystem,
     SolverConfig,
+    ThermalOperator,
     ThermalSolution,
     assemble_system,
+    clear_operator_cache,
+    geometry_key,
+    operator_cache_stats,
     solve_steady_state,
 )
 from repro.thermal.transient import TransientResult, solve_transient
@@ -50,9 +54,13 @@ __all__ = [
     "build_3d_stack",
     "DiscreteSystem",
     "SolverConfig",
+    "ThermalOperator",
     "ThermalSolution",
     "TransientResult",
     "assemble_system",
+    "clear_operator_cache",
+    "geometry_key",
+    "operator_cache_stats",
     "solve_steady_state",
     "solve_transient",
     "simulate_planar",

@@ -13,10 +13,18 @@ injected into the layers that carry floorplans.
 
 The discrete system is symmetric positive definite and is solved directly
 with a sparse LU factorization.
+
+Assembly and factorization depend only on the stack *geometry* (layers,
+materials, grid, boundary coefficients) — never on the power maps, which
+enter through the right-hand side alone.  Both are therefore cached per
+geometry key (see :func:`geometry_key`): sweeping power maps over a fixed
+stack, the dominant use in the paper's studies, re-solves with a cached
+factorization and only rebuilds the cheap power vector.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -136,41 +144,49 @@ class ThermalSolution:
         peaks = {name: self.layer_peak(name) for name in self._die_layer_names}
         return max(peaks, key=peaks.get)
 
-    def boundary_heat_flow(self) -> float:
-        """Total heat leaving through the convective boundaries, W.
+    def boundary_heat_flow(self, per_face: bool = False):
+        """Heat leaving through the convective boundaries, W.
 
-        Conservation check: at steady state this equals the injected power.
+        Conservation check: at steady state the total equals the injected
+        power.  The per-cell conductance uses the same two-region
+        conductivity map as the assembly (die material inside the
+        footprint, fill material outside) — using the in-die conductivity
+        uniformly, as an earlier version did, misstates the flow whenever
+        a two-region layer sits on a boundary face (e.g. a flipped stack
+        with a die layer at the board side).
+
+        Args:
+            per_face: If True, return ``{"heatsink": W, "motherboard": W}``
+                instead of the total.
         """
         nz, ny, nx = self.temperature.shape
         dx = self.stack.domain_size_m / nx
         dy = self.stack.domain_size_m / ny
         area = dx * dy
-        dz_top = self._plane_thickness(0)
-        dz_bot = self._plane_thickness(nz - 1)
-        k_top, k_bot = self._boundary_conductivities()
-        out = 0.0
-        for plane, dz, k, h in (
-            (self.temperature[0], dz_top, k_top, self.config.heatsink_h),
-            (self.temperature[-1], dz_bot, k_bot, self.config.motherboard_h),
+        j0, j1, i0, i1 = self.die_region
+        flows: Dict[str, float] = {}
+        for face, z, layer, h in (
+            ("heatsink", 0, self.stack.layers[0], self.config.heatsink_h),
+            (
+                "motherboard",
+                nz - 1,
+                self.stack.layers[-1],
+                self.config.motherboard_h,
+            ),
         ):
-            # Series conductance: half-cell conduction + surface convection.
+            dz = layer.thickness_m / layer.divisions
+            k = np.full((ny, nx), layer.material_out.conductivity)
+            k[j0:j1, i0:i1] = layer.material_in.conductivity
+            # Series conductance: half-cell conduction + surface convection
+            # (identical to the assembled Robin term, so the check closes
+            # to solver precision).
             g = area / (dz / (2.0 * k) + 1.0 / h)
-            out += float(np.sum(g * (plane - self.config.ambient_c)))
-        return out
-
-    # -- internals for the conservation check ------------------------------
-
-    def _plane_thickness(self, z: int) -> float:
-        for layer in self.stack.layers:
-            z0, z1 = self.layer_planes[layer.name]
-            if z0 <= z < z1:
-                return layer.thickness_m / layer.divisions
-        raise IndexError(f"plane {z} out of range")
-
-    def _boundary_conductivities(self) -> Tuple[float, float]:
-        top = self.stack.layers[0].material_in.conductivity
-        bottom = self.stack.layers[-1].material_in.conductivity
-        return top, bottom
+            flows[face] = float(
+                np.sum(g * (self.temperature[z] - self.config.ambient_c))
+            )
+        if per_face:
+            return flows
+        return flows["heatsink"] + flows["motherboard"]
 
 
 def _die_region_cells(
@@ -191,12 +207,111 @@ def _die_region_cells(
 _DIE_LAYER_PREFIXES = ("bulk-si", "metal", "bond")
 
 
+def geometry_key(
+    stack: ThermalStack, config: SolverConfig
+) -> Tuple[Any, ...]:
+    """Hashable key capturing everything the operator depends on.
+
+    Two (stack, config) pairs with equal keys assemble the *same* matrix,
+    mass vector, and ambient boundary vector — power plans are explicitly
+    excluded because they only shape the power part of the right-hand
+    side.  Anything that feeds the assembly MUST appear here: layer
+    names/thicknesses/divisions, both region materials (name alone is not
+    enough — :meth:`Layer.with_conductivity` synthesizes materials, so
+    the numeric properties are keyed too), die and domain extents, grid
+    size, and the three boundary parameters.
+    """
+    layers = tuple(
+        (
+            layer.name,
+            layer.thickness_m,
+            layer.divisions,
+            layer.material_in.name,
+            layer.material_in.conductivity,
+            layer.material_in.volumetric_heat_capacity,
+            layer.material_out.name,
+            layer.material_out.conductivity,
+            layer.material_out.volumetric_heat_capacity,
+        )
+        for layer in stack.layers
+    )
+    return (
+        layers,
+        stack.die_width_m,
+        stack.die_height_m,
+        stack.domain_size_m,
+        config.nx,
+        config.ny,
+        config.ambient_c,
+        config.heatsink_h,
+        config.motherboard_h,
+    )
+
+
+@dataclass
+class ThermalOperator:
+    """The geometry-dependent (power-independent) part of one system.
+
+    Everything here is a pure function of :func:`geometry_key`, so one
+    operator is shared by every solve over the same stack geometry.  The
+    steady LU factorization and backward-Euler factorizations (one per
+    time step) are attached lazily the first time a solver needs them.
+
+    Cached operators are shared: callers must treat ``matrix``, ``mass``,
+    and ``boundary_rhs`` as read-only.
+    """
+
+    key: Tuple[Any, ...]
+    matrix: sp.csc_matrix
+    mass: np.ndarray
+    boundary_rhs: np.ndarray
+    shape: Tuple[int, int, int]
+    layer_planes: Dict[str, Tuple[int, int]]
+    die_region: Tuple[int, int, int, int]
+    die_layers: List[str]
+    steady_lu: Optional[Any] = None
+    transient_lus: Dict[float, Any] = field(default_factory=dict)
+
+
+#: Geometry-keyed operator cache, LRU over :data:`_OPERATOR_CACHE_MAX`
+#: distinct geometries.  Entries are immutable w.r.t. power sweeps; the
+#: cache must only be cleared when memory pressure matters (each fine-grid
+#: LU holds tens of MB).
+_OPERATOR_CACHE: "OrderedDict[Tuple[Any, ...], ThermalOperator]" = OrderedDict()
+_OPERATOR_CACHE_MAX = 8
+_CACHE_STATS = {"hits": 0, "misses": 0}
+
+#: Backward-Euler factorizations kept per operator (one per distinct dt).
+_TRANSIENT_LU_MAX = 4
+
+
+def operator_cache_stats() -> Dict[str, int]:
+    """Cache effectiveness counters (for benchmarks and tests)."""
+    return {
+        "hits": _CACHE_STATS["hits"],
+        "misses": _CACHE_STATS["misses"],
+        "size": len(_OPERATOR_CACHE),
+        "max_size": _OPERATOR_CACHE_MAX,
+    }
+
+
+def clear_operator_cache() -> None:
+    """Drop all cached operators and factorizations, and zero the stats."""
+    _OPERATOR_CACHE.clear()
+    _CACHE_STATS["hits"] = 0
+    _CACHE_STATS["misses"] = 0
+
+
 @dataclass
 class DiscreteSystem:
     """The assembled finite-volume system of one stack/config pair.
 
     ``matrix @ T = rhs`` is the steady-state balance; *mass* holds each
-    cell's heat capacity (rho c V, J/K) for the transient solver.
+    cell's heat capacity (rho c V, J/K) for the transient solver.  The
+    rhs is the exact element-wise sum ``power_rhs + boundary_rhs`` — the
+    power injection and the ambient (Robin) terms never overlap in a
+    single cell's contribution order, so the split is bitwise equal to
+    assembling them together.
     """
 
     matrix: sp.csc_matrix
@@ -208,6 +323,9 @@ class DiscreteSystem:
     die_layers: List[str]
     stack: ThermalStack
     config: SolverConfig
+    power_rhs: Optional[np.ndarray] = None
+    boundary_rhs: Optional[np.ndarray] = None
+    operator: Optional[ThermalOperator] = None
 
     def solution_from(self, temperature_flat: np.ndarray) -> ThermalSolution:
         """Wrap a flat temperature vector as a :class:`ThermalSolution`."""
@@ -221,11 +339,10 @@ class DiscreteSystem:
         )
 
 
-def assemble_system(
-    stack: ThermalStack, config: Optional[SolverConfig] = None
-) -> DiscreteSystem:
-    """Discretize a stack into its finite-volume system."""
-    config = config or SolverConfig()
+def _assemble_operator(
+    stack: ThermalStack, config: SolverConfig, key: Tuple[Any, ...]
+) -> ThermalOperator:
+    """Build the geometry-dependent operator: matrix, mass, ambient rhs."""
     nx, ny = config.nx, config.ny
     j0, j1, i0, i1 = _die_region_cells(stack, nx, ny)
 
@@ -233,7 +350,6 @@ def assemble_system(
     plane_k: List[np.ndarray] = []   # conductivity per plane, (ny, nx)
     plane_c: List[np.ndarray] = []   # volumetric heat capacity, (ny, nx)
     plane_dz: List[float] = []
-    plane_q: List[np.ndarray] = []   # power per cell per plane, W
     layer_planes: Dict[str, Tuple[int, int]] = {}
     die_layers: List[str] = []
     z = 0
@@ -244,25 +360,6 @@ def assemble_system(
             (ny, nx), layer.material_out.volumetric_heat_capacity
         )
         c_map[j0:j1, i0:i1] = layer.material_in.volumetric_heat_capacity
-        q_map = np.zeros((ny, nx))
-        if layer.power_plan is not None:
-            raster = layer.power_plan.rasterize(i1 - i0, j1 - j0)
-            total = layer.power_plan.total_power
-            # Guard: NaN power used to vanish silently here (NaN > 0 is
-            # False), solving an unpowered stack without complaint.
-            if (
-                not np.all(np.isfinite(raster))
-                or not np.isfinite(total)
-                or (raster.size and raster.min() < 0)
-                or total < 0
-            ):
-                raise GuardViolation(
-                    f"layer {layer.name!r} has a non-finite or negative "
-                    "power map",
-                    guard="power-map",
-                )
-            if raster.sum() > 0:
-                q_map[j0:j1, i0:i1] = raster / raster.sum() * total
         layer_planes[layer.name] = (z, z + layer.divisions)
         if layer.name.startswith(_DIE_LAYER_PREFIXES):
             die_layers.append(layer.name)
@@ -270,14 +367,12 @@ def assemble_system(
             plane_k.append(k_map)
             plane_c.append(c_map)
             plane_dz.append(layer.thickness_m / layer.divisions)
-            plane_q.append(q_map / layer.divisions)
         z += layer.divisions
 
     nz = z
     k = np.stack(plane_k)          # (nz, ny, nx)
     c = np.stack(plane_c)          # (nz, ny, nx)
     dz = np.asarray(plane_dz)      # (nz,)
-    q = np.stack(plane_q)          # (nz, ny, nx), W per cell
 
     dx = stack.domain_size_m / nx
     dy = stack.domain_size_m / ny
@@ -290,7 +385,7 @@ def assemble_system(
     cols: List[np.ndarray] = []
     vals: List[np.ndarray] = []
     diag = np.zeros(n_cells)
-    rhs = (q.ravel()).astype(float).copy()
+    boundary_rhs = np.zeros(n_cells)
 
     zz, jj, ii = np.meshgrid(
         np.arange(nz), np.arange(ny), np.arange(nx), indexing="ij"
@@ -347,7 +442,7 @@ def assemble_system(
             np.full((ny, nx), plane), jj[0], ii[0]
         ).ravel()
         np.add.at(diag, idx, g_b.ravel())
-        np.add.at(rhs, idx, (g_b * config.ambient_c).ravel())
+        np.add.at(boundary_rhs, idx, (g_b * config.ambient_c).ravel())
 
     all_rows = np.concatenate(rows + [np.arange(n_cells)])
     all_cols = np.concatenate(cols + [np.arange(n_cells)])
@@ -357,16 +452,97 @@ def assemble_system(
     )
 
     mass = (c * (dx * dy) * dz[:, None, None]).ravel()  # rho c V, J/K
-    return DiscreteSystem(
+    return ThermalOperator(
+        key=key,
         matrix=matrix,
-        rhs=rhs,
         mass=mass,
+        boundary_rhs=boundary_rhs,
         shape=(nz, ny, nx),
         layer_planes=layer_planes,
         die_region=(j0, j1, i0, i1),
         die_layers=die_layers,
+    )
+
+
+def _power_rhs(stack: ThermalStack, operator: ThermalOperator) -> np.ndarray:
+    """The injected-power part of the right-hand side, W per cell.
+
+    Rebuilt on every assembly (it is cheap and carries everything the
+    cached operator deliberately excludes), including the power-map
+    validity guard.
+    """
+    nz, ny, nx = operator.shape
+    j0, j1, i0, i1 = operator.die_region
+    plane_q: List[np.ndarray] = []
+    for layer in stack.layers:
+        q_map = np.zeros((ny, nx))
+        if layer.power_plan is not None:
+            raster = layer.power_plan.rasterize(i1 - i0, j1 - j0)
+            total = layer.power_plan.total_power
+            # Guard: NaN power used to vanish silently here (NaN > 0 is
+            # False), solving an unpowered stack without complaint.
+            if (
+                not np.all(np.isfinite(raster))
+                or not np.isfinite(total)
+                or (raster.size and raster.min() < 0)
+                or total < 0
+            ):
+                raise GuardViolation(
+                    f"layer {layer.name!r} has a non-finite or negative "
+                    "power map",
+                    guard="power-map",
+                )
+            if raster.sum() > 0:
+                q_map[j0:j1, i0:i1] = raster / raster.sum() * total
+        for _ in range(layer.divisions):
+            plane_q.append(q_map / layer.divisions)
+    return np.stack(plane_q).ravel()
+
+
+def assemble_system(
+    stack: ThermalStack,
+    config: Optional[SolverConfig] = None,
+    reuse_operator: bool = True,
+) -> DiscreteSystem:
+    """Discretize a stack into its finite-volume system.
+
+    The geometry-dependent operator (matrix, mass, ambient boundary rhs)
+    is served from the per-geometry LRU cache when available; only the
+    power vector is rebuilt.  Pass ``reuse_operator=False`` to force a
+    from-scratch assembly that bypasses the cache entirely (benchmarks
+    use this to time the cold path).
+    """
+    config = config or SolverConfig()
+    key = geometry_key(stack, config)
+    operator = _OPERATOR_CACHE.get(key) if reuse_operator else None
+    if operator is not None:
+        _OPERATOR_CACHE.move_to_end(key)
+        _CACHE_STATS["hits"] += 1
+    else:
+        operator = _assemble_operator(stack, config, key)
+        if reuse_operator:
+            _CACHE_STATS["misses"] += 1
+            _OPERATOR_CACHE[key] = operator
+            while len(_OPERATOR_CACHE) > _OPERATOR_CACHE_MAX:
+                _OPERATOR_CACHE.popitem(last=False)
+
+    power_rhs = _power_rhs(stack, operator)
+    # Bitwise equal to assembling power and boundary into one vector: a
+    # boundary cell's rhs is exactly one ambient term added to its power.
+    rhs = power_rhs + operator.boundary_rhs
+    return DiscreteSystem(
+        matrix=operator.matrix,
+        rhs=rhs,
+        mass=operator.mass,
+        shape=operator.shape,
+        layer_planes=dict(operator.layer_planes),
+        die_region=operator.die_region,
+        die_layers=list(operator.die_layers),
         stack=stack,
         config=config,
+        power_rhs=power_rhs,
+        boundary_rhs=operator.boundary_rhs,
+        operator=operator,
     )
 
 
@@ -390,14 +566,19 @@ def solve_steady_state(
             as silent garbage fields).
     """
     system = assemble_system(stack, config)
-    # The system is SPD; SuperLU with a symmetric minimum-degree ordering
-    # is ~4x faster here than the default COLAMD ordering.
-    try:
-        lu = spla.splu(system.matrix, permc_spec="MMD_AT_PLUS_A")
-    except RuntimeError as exc:
-        raise SolverDivergenceError(
-            f"LU factorization failed: {exc}", method="lu"
-        ) from exc
+    operator = system.operator
+    lu = operator.steady_lu if operator is not None else None
+    if lu is None:
+        # The system is SPD; SuperLU with a symmetric minimum-degree
+        # ordering is ~4x faster here than the default COLAMD ordering.
+        try:
+            lu = spla.splu(system.matrix, permc_spec="MMD_AT_PLUS_A")
+        except RuntimeError as exc:
+            raise SolverDivergenceError(
+                f"LU factorization failed: {exc}", method="lu"
+            ) from exc
+        if operator is not None:
+            operator.steady_lu = lu
     flat = lu.solve(system.rhs)
     if not np.all(np.isfinite(flat)):
         raise SolverDivergenceError(

@@ -35,6 +35,7 @@ import scipy.sparse.linalg as spla
 from repro.resilience.checkpoint import load_checkpoint, save_checkpoint
 from repro.resilience.errors import CheckpointError, SolverDivergenceError
 from repro.thermal.solver import (
+    _TRANSIENT_LU_MAX,
     SolverConfig,
     ThermalSolution,
     assemble_system,
@@ -121,25 +122,27 @@ def solve_transient(
     ambient = system.config.ambient_c
 
     n = system.matrix.shape[0]
-    mass_over_dt = sp.diags(system.mass / dt_s)
-    lhs = (system.matrix + mass_over_dt).tocsc()
-    lu = spla.splu(lhs, permc_spec="MMD_AT_PLUS_A")
+    # The assembly already delivers the rhs split into power injection and
+    # ambient boundary terms (exactly, not by subtraction), so a power
+    # schedule can scale only the former.
+    power_part = system.power_rhs
+    boundary_rhs = system.boundary_rhs
 
-    # Split the rhs into power injection and ambient boundary terms so a
-    # power schedule can scale only the former.  The boundary part is the
-    # assembled rhs minus the injected power.
-    power_part = np.zeros(n)
-    total_power = stack.total_power
-    if total_power > 0:
-        # Reassemble the injected power per cell (everything in rhs that
-        # is not a boundary ambient term).  Boundary terms live only on
-        # the first and last planes; power only in powered layers —
-        # separate by rebuilding the boundary vector.
-        zero_power_stack = _stack_without_power(stack)
-        boundary_rhs = assemble_system(zero_power_stack, system.config).rhs
-        power_part = system.rhs - boundary_rhs
-    else:
-        boundary_rhs = system.rhs
+    # One backward-Euler factorization per (geometry, dt) pair; reruns
+    # over the same stack (parameter sweeps, resumed runs) skip straight
+    # to the time loop.
+    operator = system.operator
+    lu = operator.transient_lus.get(dt_s) if operator is not None else None
+    if lu is None:
+        mass_over_dt = sp.diags(system.mass / dt_s)
+        lhs = (system.matrix + mass_over_dt).tocsc()
+        lu = spla.splu(lhs, permc_spec="MMD_AT_PLUS_A")
+        if operator is not None:
+            operator.transient_lus[dt_s] = lu
+            while len(operator.transient_lus) > _TRANSIENT_LU_MAX:
+                operator.transient_lus.pop(
+                    next(iter(operator.transient_lus))
+                )
 
     steps = int(round(duration_s / dt_s))
     if resume_from is not None:
@@ -202,20 +205,4 @@ def solve_transient(
         times_s=times,
         peak_c=peaks,
         final=system.solution_from(temperature),
-    )
-
-
-def _stack_without_power(stack: ThermalStack) -> ThermalStack:
-    """A copy of *stack* with all power plans removed."""
-    import dataclasses
-
-    layers = [
-        dataclasses.replace(layer, power_plan=None) for layer in stack.layers
-    ]
-    return ThermalStack(
-        f"{stack.name} (unpowered)",
-        stack.die_width_m,
-        stack.die_height_m,
-        layers,
-        stack.domain_size_m,
     )

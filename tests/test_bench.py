@@ -1,0 +1,123 @@
+"""Unit tests for the ``repro bench`` harness: timing primitives,
+report round-trip, and the baseline regression gate's arithmetic."""
+
+import pytest
+
+from repro.bench.harness import (
+    BENCH_SCHEMA,
+    BenchResult,
+    compare_to_baseline,
+    load_report,
+    time_best,
+    write_report,
+)
+
+
+def _result(name, reference_s, optimized_s, equivalent=True):
+    return BenchResult(
+        name=name,
+        reference_s=reference_s,
+        optimized_s=optimized_s,
+        equivalent=equivalent,
+    )
+
+
+class TestTimeBest:
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            time_best(lambda: None, repeats=0)
+
+    def test_returns_nonnegative_seconds(self):
+        assert time_best(lambda: sum(range(100)), repeats=2) >= 0.0
+
+    def test_calls_fn_exactly_repeats_times(self):
+        calls = []
+        time_best(lambda: calls.append(1), repeats=5)
+        assert len(calls) == 5
+
+
+class TestBenchResult:
+    def test_speedup(self):
+        assert _result("x", 3.0, 1.0).speedup == 3.0
+
+    def test_speedup_with_zero_optimized_time(self):
+        assert _result("x", 1.0, 0.0).speedup == float("inf")
+
+    def test_to_dict_carries_speedup(self):
+        entry = _result("x", 2.0, 0.5).to_dict()
+        assert entry["speedup"] == 4.0
+        assert entry["name"] == "x"
+
+
+class TestReportRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        path = tmp_path / "bench.json"
+        write_report(
+            [_result("a", 1.0, 0.25)], path, extra={"tier": "quick"}
+        )
+        report = load_report(path)
+        assert report["schema"] == BENCH_SCHEMA
+        assert report["tier"] == "quick"
+        assert report["results"][0]["speedup"] == 4.0
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "something-else/9", "results": []}')
+        with pytest.raises(ValueError, match="schema"):
+            load_report(path)
+
+
+class TestRegressionGate:
+    def _report(self, *results):
+        return {"schema": BENCH_SCHEMA,
+                "results": [r.to_dict() for r in results]}
+
+    def test_no_regression_when_equal(self):
+        report = self._report(_result("a", 3.0, 1.0))
+        assert compare_to_baseline(report, report) == []
+
+    def test_within_threshold_passes(self):
+        # Baseline 4.0x, current 3.1x: above the 4.0 * 0.75 = 3.0 floor.
+        current = self._report(_result("a", 3.1, 1.0))
+        baseline = self._report(_result("a", 4.0, 1.0))
+        assert compare_to_baseline(current, baseline, threshold=0.25) == []
+
+    def test_below_threshold_regresses(self):
+        # Baseline 4.0x, current 2.9x: below the 3.0 floor.
+        current = self._report(_result("a", 2.9, 1.0))
+        baseline = self._report(_result("a", 4.0, 1.0))
+        problems = compare_to_baseline(current, baseline, threshold=0.25)
+        assert len(problems) == 1
+        assert "a" in problems[0]
+
+    def test_faster_than_baseline_passes(self):
+        current = self._report(_result("a", 8.0, 1.0))
+        baseline = self._report(_result("a", 4.0, 1.0))
+        assert compare_to_baseline(current, baseline) == []
+
+    def test_new_benchmark_is_ignored(self):
+        current = self._report(_result("brand-new", 1.0, 1.0))
+        baseline = self._report(_result("a", 4.0, 1.0))
+        assert compare_to_baseline(current, baseline) == []
+
+    def test_removed_benchmark_is_ignored(self):
+        current = self._report(_result("a", 4.0, 1.0))
+        baseline = self._report(
+            _result("a", 4.0, 1.0), _result("gone", 9.0, 1.0)
+        )
+        assert compare_to_baseline(current, baseline) == []
+
+    def test_non_equivalent_always_regresses(self):
+        # Even a massive speedup fails if the answers differ.
+        current = self._report(_result("a", 100.0, 1.0, equivalent=False))
+        baseline = self._report(_result("a", 4.0, 1.0))
+        problems = compare_to_baseline(current, baseline)
+        assert len(problems) == 1
+        assert "equivalent" in problems[0]
+
+    def test_threshold_validation(self):
+        report = self._report(_result("a", 1.0, 1.0))
+        with pytest.raises(ValueError):
+            compare_to_baseline(report, report, threshold=0.0)
+        with pytest.raises(ValueError):
+            compare_to_baseline(report, report, threshold=1.0)

@@ -98,6 +98,94 @@ class TestSetAssociativeCache:
         with pytest.raises(ValueError, match="power of two"):
             SetAssociativeCache(CacheConfig(3 * 64 * 2, ways=2, latency=1))
 
+
+class TestFillRegressions:
+    """Pin the fill() refill semantics: an earlier version evicted an
+    unrelated victim when re-filling an already-resident line, and
+    dropped the dirty bit of a line re-installed clean — losing its
+    eventual writeback."""
+
+    def test_refill_resident_line_evicts_nothing(self):
+        cache = small_cache(size=2 * 64, ways=2)  # 1 set, 2 ways
+        cache.fill(0)
+        cache.fill(1)
+        victim = cache.fill(0)  # refill at capacity: no one must go
+        assert victim is None
+        assert cache.evictions == 0
+        assert cache.contains(0) and cache.contains(1)
+
+    def test_refill_refreshes_lru_position(self):
+        cache = small_cache(size=2 * 64, ways=2)
+        cache.fill(0)
+        cache.fill(1)
+        cache.fill(0)           # 0 becomes most-recent again
+        victim = cache.fill(2)
+        assert victim is not None and victim[0] == 1
+
+    def test_clean_refill_keeps_dirty_bit(self):
+        cache = small_cache(size=2 * 64, ways=2)
+        cache.fill(0, dirty=True)
+        cache.fill(0, dirty=False)  # merge, not overwrite
+        cache.fill(1)
+        victim = cache.fill(2)
+        assert victim == (0, True)
+        assert cache.writebacks == 1
+
+    def test_dirty_refill_dirties_clean_line(self):
+        cache = small_cache(size=2 * 64, ways=2)
+        cache.fill(0, dirty=False)
+        cache.fill(0, dirty=True)
+        cache.fill(1)
+        victim = cache.fill(2)
+        assert victim == (0, True)
+
+    def test_write_hit_then_invalidate_loses_writeback(self):
+        cache = small_cache(size=2 * 64, ways=2)
+        cache.fill(0)
+        cache.lookup(0, write=True)
+        assert cache.invalidate(0)
+        cache.fill(1)
+        cache.fill(2)
+        victim = cache.fill(3)
+        assert victim is not None and victim[1] is False
+        assert cache.writebacks == 0
+
+
+class TestFastStateContract:
+    """The (sets, mask) pair handed to the replay fast path must mirror
+    lookup() exactly, and credited counts must keep the counter
+    identities intact."""
+
+    def test_fast_hit_protocol_matches_lookup(self):
+        via_lookup = small_cache()
+        via_fast = small_cache()
+        for cache in (via_lookup, via_fast):
+            cache.fill(7)
+            cache.fill(7 + cache.n_sets)  # same set
+        via_lookup.lookup(7, write=True)
+
+        sets, mask = via_fast.fast_state()
+        entries = sets[7 & mask]
+        previous = entries.pop(7, None)
+        assert previous is not None
+        entries[7] = previous or True
+        via_fast.add_fast_hits(1)
+
+        assert via_fast.hits == via_lookup.hits
+        assert via_fast._sets == via_lookup._sets
+
+    def test_credited_counts_preserve_identities(self):
+        cache = small_cache()
+        cache.fill(1)
+        cache.lookup(1)
+        cache.lookup(2)
+        cache.add_fast_hits(10)
+        cache.add_fast_misses(4)
+        assert cache.hits == 11
+        assert cache.misses == 5
+        assert cache.accesses == 16
+        assert cache.hit_rate == pytest.approx(11 / 16)
+
     @given(
         lines=st.lists(
             st.integers(min_value=0, max_value=4095), min_size=1, max_size=400

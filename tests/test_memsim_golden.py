@@ -1,0 +1,110 @@
+"""Golden replay counters for every Table 1 kernel.
+
+Pins the memory-simulation outcome of each RMS kernel at a fixed seed:
+the chunked array fast path must reproduce these numbers *bit-for-bit*,
+and must agree exactly with the per-record reference path.  Any change
+to trace generation, cache policy, or the replay hot path that shifts a
+single hit shows up here as a diff against the pinned table — the
+guard the vectorized fast path is developed against.
+
+Regenerate after an *intentional* semantic change with::
+
+    PYTHONPATH=src python - <<'PY'
+    from tests.test_memsim_golden import regenerate
+    print(regenerate())
+    PY
+"""
+
+import pytest
+
+from repro.memsim.config import baseline_config
+from repro.memsim.replay import replay_trace
+from repro.traces.generator import (
+    TraceGenerator,
+    WorkloadSpec,
+    records_to_array,
+)
+from repro.traces.kernels.registry import kernel_names
+
+N_RECORDS = 30_000
+SEED = 1234
+SCALE = 8
+WARMUP = 0.3
+
+#: Pinned outcome per kernel: (n_accesses, cpma, wall_cycles,
+#: level_counts, invalidations).  Floats are exact — replay arithmetic
+#: is deterministic double-precision with a fixed operation order.
+GOLDEN = {
+    "conj": (21000, 5.873904761904762, 61676.0,
+             {"l1": 19436, "l2": 0, "stacked": 0, "memory": 1564}, 0),
+    "dsym": (21000, 4.7291428571428575, 49656.0,
+             {"l1": 18738, "l2": 824, "stacked": 0, "memory": 1438}, 0),
+    "gauss": (21000, 3.8586666666666667, 40516.0,
+              {"l1": 20126, "l2": 0, "stacked": 0, "memory": 874}, 1),
+    "pcg": (21000, 10.887238095238095, 114316.0,
+            {"l1": 14237, "l2": 3321, "stacked": 0, "memory": 3442}, 0),
+    "smvm": (21000, 5.287809523809524, 55522.0,
+             {"l1": 17915, "l2": 1599, "stacked": 0, "memory": 1486}, 0),
+    "ssym": (21000, 5.514857142857143, 57906.0,
+             {"l1": 19747, "l2": 0, "stacked": 0, "memory": 1253}, 0),
+    "strans": (21000, 4.8914285714285715, 51360.0,
+               {"l1": 19384, "l2": 367, "stacked": 0, "memory": 1249}, 0),
+    "savdf": (21000, 5.342666666666666, 56098.0,
+              {"l1": 18519, "l2": 806, "stacked": 0, "memory": 1675}, 411),
+    "savif": (21000, 7.284190476190476, 76484.0,
+              {"l1": 18231, "l2": 817, "stacked": 0, "memory": 1952}, 189),
+    "sus": (21000, 6.2782857142857145, 65922.0,
+            {"l1": 18286, "l2": 718, "stacked": 0, "memory": 1996}, 238),
+    "svd": (21000, 1.3687619047619048, 14372.0,
+            {"l1": 20678, "l2": 100, "stacked": 0, "memory": 222}, 275),
+    "svm": (21000, 3.775809523809524, 39646.0,
+            {"l1": 19220, "l2": 457, "stacked": 0, "memory": 1323}, 0),
+}
+
+
+def _signature(stats):
+    return (
+        stats.n_accesses,
+        stats.cpma,
+        stats.wall_cycles,
+        dict(stats.level_counts),
+        stats.invalidations,
+    )
+
+
+def regenerate():
+    """Recompute the golden table (for intentional semantic changes)."""
+    table = {}
+    for name in kernel_names():
+        spec = WorkloadSpec(name=name, n_records=N_RECORDS, seed=SEED)
+        array = TraceGenerator(spec, scale=SCALE).arrays()
+        stats = replay_trace(
+            array, baseline_config(SCALE), warmup_fraction=WARMUP
+        )
+        table[name] = _signature(stats)
+    return table
+
+
+def test_golden_covers_every_registered_kernel():
+    assert sorted(GOLDEN) == sorted(kernel_names())
+
+
+@pytest.mark.parametrize("kernel", sorted(GOLDEN))
+def test_golden_counters(kernel):
+    """Array fast path reproduces the pinned counters bit-for-bit, and
+    the per-record reference path agrees with it exactly."""
+    spec = WorkloadSpec(name=kernel, n_records=N_RECORDS, seed=SEED)
+    records = list(TraceGenerator(spec, scale=SCALE).records())
+    array = records_to_array(records)
+
+    fast = replay_trace(array, baseline_config(SCALE), warmup_fraction=WARMUP)
+    assert _signature(fast) == GOLDEN[kernel]
+
+    reference = replay_trace(
+        records, baseline_config(SCALE), warmup_fraction=WARMUP
+    )
+    assert _signature(reference) == _signature(fast)
+    assert reference.avg_latency == fast.avg_latency
+    assert reference.level_latency == fast.level_latency
+    assert reference.bandwidth_gbps == fast.bandwidth_gbps
+    assert reference.offchip_fraction == fast.offchip_fraction

@@ -77,6 +77,76 @@ class TestJournalRoundTrip:
         assert entries == [] and torn == 1
 
 
+class TestTornTailRepair:
+    """A run killed mid-write leaves a torn final line; the next run's
+    appends must not be welded onto it (the bug: the merged line parsed
+    as neither record, so the NEW entry silently vanished too)."""
+
+    def test_append_after_torn_tail_preserves_new_entry(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            journal.append(_entry("a"))
+            journal.append(_entry("b"))
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-15])  # kill mid-append of "b"
+        with Journal(path) as journal:
+            journal.append(_entry("c"))
+        entries, torn = read_journal(path)
+        assert [e["task_id"] for e in entries] == ["a", "c"]
+        assert torn == 1
+
+    def test_truncation_at_every_byte_offset(self, tmp_path):
+        """For any kill point, a resumed append loses at most the one
+        torn record — never the resumed run's own entries."""
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            journal.append(_entry("a"))
+            journal.append(_entry("b"))
+            journal.append(_entry("c"))
+        raw = path.read_bytes()
+        first_len = raw.index(b"\n") + 1
+        for cut in range(first_len, len(raw) + 1):
+            path.write_bytes(raw[:cut])
+            with Journal(path) as journal:
+                journal.append(_entry("resumed"))
+            entries, torn = read_journal(path)
+            ids = [e["task_id"] for e in entries]
+            assert ids[0] == "a", f"cut at {cut} lost an intact record"
+            assert ids[-1] == "resumed", f"cut at {cut} lost the new entry"
+            assert torn <= 1, f"cut at {cut} produced {torn} torn lines"
+
+    def test_missing_final_newline_is_a_complete_record(self, tmp_path):
+        """Truncating ONLY the trailing newline leaves a parseable record:
+        the repair terminates it instead of sacrificing it."""
+        path = tmp_path / "j.jsonl"
+        fp = task_fingerprint("b", {}, None)
+        with Journal(path) as journal:
+            journal.append(_entry("a"))
+            journal.append(_entry("b", fingerprint=fp))
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-1])  # drop just the "\n"
+        with Journal(path) as journal:
+            journal.append(_entry("c"))
+        entries, torn = read_journal(path)
+        assert [e["task_id"] for e in entries] == ["a", "b", "c"]
+        assert torn == 0
+        assert fp in completed_fingerprints(entries)
+
+    def test_repair_leaves_empty_and_missing_files_alone(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_bytes(b"")
+        with Journal(empty) as journal:
+            journal.append(_entry("a"))
+        entries, torn = read_journal(empty)
+        assert [e["task_id"] for e in entries] == ["a"] and torn == 0
+
+        fresh = tmp_path / "sub" / "fresh.jsonl"
+        with Journal(fresh) as journal:
+            journal.append(_entry("a"))
+        entries, torn = read_journal(fresh)
+        assert [e["task_id"] for e in entries] == ["a"] and torn == 0
+
+
 class TestResumeSemantics:
     def test_completed_keeps_only_ok(self):
         fp_ok = task_fingerprint("a", {}, 1)

@@ -7,23 +7,110 @@ from hypothesis import strategies as st
 
 from repro.floorplan import core2duo_floorplan, stacked_cache_die
 from repro.floorplan.blocks import uniform_floorplan
-from repro.thermal.solver import SolverConfig, solve_steady_state
-from repro.thermal.stack import build_3d_stack, build_planar_stack
+from repro.thermal.materials import get_material
+from repro.thermal.solver import (
+    SolverConfig,
+    assemble_system,
+    clear_operator_cache,
+    geometry_key,
+    operator_cache_stats,
+    solve_steady_state,
+)
+from repro.thermal.stack import (
+    Layer,
+    ThermalStack,
+    build_3d_stack,
+    build_planar_stack,
+)
 
 FAST = SolverConfig(nx=24, ny=24)
+
+UM = 1e-6
+MM = 1e-3
+
+
+def _bare_die_stack(power_w=60.0):
+    """A minimal stack whose BOUNDARY layers are two-region (die material
+    inside the footprint, epoxy fill outside) — the geometry where the
+    old uniform-conductivity conservation check was wrong."""
+    die = uniform_floorplan("bare", 10.0, 10.0, power_w)
+    epoxy = get_material("epoxy-fillet")
+    layers = [
+        Layer("bulk-si-1", 750.0 * UM, get_material("bulk-si"), epoxy,
+              divisions=2),
+        Layer("metal-1", 12.0 * UM, get_material("cu-metal"), epoxy,
+              power_plan=die),
+        Layer("package", 1.2 * MM, get_material("package"),
+              get_material("package")),
+    ]
+    return ThermalStack("bare die", 10.0 * MM, 10.0 * MM, layers)
 
 
 class TestSolverPhysics:
     def test_energy_conservation(self, planar_solution):
         # Heat leaving through the boundaries equals the injected power.
+        # The per-cell boundary conductances replicate the assembled
+        # Robin terms exactly, so this closes to solver precision.
         out = planar_solution.boundary_heat_flow()
-        assert out == pytest.approx(planar_solution.stack.total_power, rel=1e-6)
+        assert out == pytest.approx(planar_solution.stack.total_power, rel=1e-9)
 
     def test_energy_conservation_3d(self, stacked_solution):
         out = stacked_solution.boundary_heat_flow()
         assert out == pytest.approx(
-            stacked_solution.stack.total_power, rel=1e-6
+            stacked_solution.stack.total_power, rel=1e-9
         )
+
+    def test_energy_conservation_two_region_boundary(self):
+        """Conservation must close even when a two-region layer forms a
+        boundary face (regression: the check used the in-die conductivity
+        across the whole face, overstating the off-die flow ~4x here)."""
+        solution = solve_steady_state(_bare_die_stack(), FAST)
+        out = solution.boundary_heat_flow()
+        assert out == pytest.approx(solution.stack.total_power, rel=1e-9)
+
+    def test_per_face_breakdown_sums_to_total(self, planar_solution):
+        faces = planar_solution.boundary_heat_flow(per_face=True)
+        assert set(faces) == {"heatsink", "motherboard"}
+        assert faces["heatsink"] + faces["motherboard"] == pytest.approx(
+            planar_solution.boundary_heat_flow(), rel=1e-12
+        )
+
+    def test_heatsink_face_dominates(self, planar_solution):
+        # The package exists to push heat out through the sink: the
+        # forced-air face must carry the overwhelming share.
+        faces = planar_solution.boundary_heat_flow(per_face=True)
+        assert faces["heatsink"] > 50 * faces["motherboard"]
+        assert faces["motherboard"] > 0  # but the board path is real
+
+    def test_flipped_stack_mirrors_the_field(self):
+        """Reversing the layer order while swapping the boundary h's is
+        the same physical problem upside down: the temperature field must
+        mirror in z (and conservation must still close on the flipped
+        stack, whose two-region die layers now face the other boundary)."""
+        stack = _bare_die_stack()
+        flipped = ThermalStack(
+            "bare die flipped",
+            stack.die_width_m,
+            stack.die_height_m,
+            list(reversed(stack.layers)),
+            stack.domain_size_m,
+        )
+        config = SolverConfig(
+            nx=24, ny=24, heatsink_h=9000.0, motherboard_h=50.0
+        )
+        mirror_config = SolverConfig(
+            nx=24, ny=24, heatsink_h=50.0, motherboard_h=9000.0
+        )
+        upright = solve_steady_state(stack, config)
+        mirrored = solve_steady_state(flipped, mirror_config)
+        assert np.allclose(
+            upright.temperature,
+            mirrored.temperature[::-1],
+            rtol=1e-9,
+            atol=1e-9,
+        )
+        out = mirrored.boundary_heat_flow()
+        assert out == pytest.approx(flipped.total_power, rel=1e-9)
 
     def test_maximum_principle(self, planar_solution):
         # With heat sources, no temperature is below ambient.
@@ -90,6 +177,103 @@ class TestSolverPhysics:
         rise = solution.peak_temperature() - tiny.ambient_c
         # Rise per watt is a constant of the geometry.
         assert rise / power == pytest.approx(0.3732, rel=0.02)
+
+
+class TestOperatorCache:
+    """The assembled operator + LU factorisation depend only on geometry,
+    so solves that share a stack geometry must share one cached operator
+    — with bit-identical results to a cold assembly."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_cache(self):
+        clear_operator_cache()
+        yield
+        clear_operator_cache()
+
+    def test_cached_solve_is_bit_identical_to_cold(self):
+        die = uniform_floorplan("u", 10.0, 10.0, 60.0)
+        stack = build_planar_stack(die)
+        cold = solve_steady_state(stack, FAST)
+        warm = solve_steady_state(stack, FAST)
+        assert np.array_equal(cold.temperature, warm.temperature)
+        stats = operator_cache_stats()
+        assert stats["misses"] == 1 and stats["hits"] == 1
+
+    def test_power_plans_share_one_operator(self):
+        # Same geometry, different power maps: one assembly, one hit —
+        # and the very same matrix object on both systems.
+        die1 = uniform_floorplan("a", 10.0, 10.0, 50.0)
+        die2 = uniform_floorplan("b", 10.0, 10.0, 125.0)
+        sys1 = assemble_system(build_planar_stack(die1), FAST)
+        sys2 = assemble_system(build_planar_stack(die2), FAST)
+        assert sys1.matrix is sys2.matrix
+        assert not np.array_equal(sys1.rhs, sys2.rhs)
+        stats = operator_cache_stats()
+        assert stats["misses"] == 1 and stats["hits"] == 1
+
+    def test_geometry_key_ignores_power(self):
+        die1 = uniform_floorplan("a", 10.0, 10.0, 50.0)
+        die2 = uniform_floorplan("b", 10.0, 10.0, 125.0)
+        assert geometry_key(build_planar_stack(die1), FAST) == geometry_key(
+            build_planar_stack(die2), FAST
+        )
+
+    def test_conductivity_change_is_a_new_key(self):
+        die = uniform_floorplan("u", 10.0, 10.0, 60.0)
+        stack = build_planar_stack(die)
+        swept = stack.replace_layer(
+            stack.layer("metal-1").with_conductivity(24.0)
+        )
+        assert geometry_key(stack, FAST) != geometry_key(swept, FAST)
+        assemble_system(stack, FAST)
+        assemble_system(swept, FAST)
+        stats = operator_cache_stats()
+        assert stats["misses"] == 2 and stats["hits"] == 0
+
+    def test_config_change_is_a_new_key(self):
+        die = uniform_floorplan("u", 10.0, 10.0, 60.0)
+        stack = build_planar_stack(die)
+        assemble_system(stack, FAST)
+        assemble_system(
+            stack, SolverConfig(nx=24, ny=24, heatsink_h=5000.0)
+        )
+        stats = operator_cache_stats()
+        assert stats["misses"] == 2 and stats["hits"] == 0
+
+    def test_reuse_can_be_disabled(self):
+        die = uniform_floorplan("u", 10.0, 10.0, 60.0)
+        stack = build_planar_stack(die)
+        assemble_system(stack, FAST, reuse_operator=False)
+        assemble_system(stack, FAST, reuse_operator=False)
+        stats = operator_cache_stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0
+        assert stats["size"] == 0
+
+    def test_cache_is_bounded(self):
+        die = uniform_floorplan("u", 10.0, 10.0, 60.0)
+        stack = build_planar_stack(die)
+        for ambient in range(30, 40):  # 10 distinct geometries
+            assemble_system(
+                stack, SolverConfig(nx=12, ny=12, ambient_c=float(ambient))
+            )
+        stats = operator_cache_stats()
+        assert stats["size"] == stats["max_size"] < 10
+        # The most recent geometry is still resident.
+        assemble_system(stack, SolverConfig(nx=12, ny=12, ambient_c=39.0))
+        assert operator_cache_stats()["hits"] == 1
+
+    def test_transient_repeat_is_identical(self):
+        from repro.thermal.transient import solve_transient
+
+        die = uniform_floorplan("u", 10.0, 10.0, 60.0)
+        stack = build_planar_stack(die)
+        tiny = SolverConfig(nx=12, ny=12)
+        first = solve_transient(stack, tiny, duration_s=0.5, dt_s=0.05)
+        again = solve_transient(stack, tiny, duration_s=0.5, dt_s=0.05)
+        assert first.peak_c == again.peak_c
+        # One assembly; the steady + transient LUs hang off that operator.
+        stats = operator_cache_stats()
+        assert stats["misses"] == 1 and stats["hits"] >= 1
 
 
 class TestSolverConfigValidation:
