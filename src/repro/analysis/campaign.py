@@ -74,18 +74,36 @@ def render_campaign_report(report: Dict[str, Any]) -> str:
             f"fallback rungs, {report.get('degraded_solves', 0)} degraded "
             f"(coarser grid than requested)"
         )
-    if report.get("torn_journal_lines"):
+    if report.get("torn_journal_lines") or report.get("corrupt_journal_lines"):
         lines.append(
-            f"journal: {report['torn_journal_lines']} torn line(s) "
+            f"journal: {report.get('torn_journal_lines', 0)} torn line(s), "
+            f"{report.get('corrupt_journal_lines', 0)} CRC-failed line(s) "
             f"skipped on resume"
+        )
+    if report.get("stale_resume"):
+        lines.append(
+            f"resume: {report['stale_resume']} journaled-ok entr(ies) had "
+            f"a fingerprint/input mismatch and were re-run"
+        )
+    if report.get("oracle_checks") or report.get("oracle_violations"):
+        lines.append(
+            f"oracles: {report.get('oracle_checks', 0)} checks, "
+            f"{report.get('oracle_violations', 0)} violation(s)"
         )
     lines.append(f"wall clock: {report.get('wall_clock_s', 0.0):.2f}s")
     if report.get("degraded"):
-        lines.append(
-            "verdict: DEGRADED — campaign completed, but some tasks "
-            "exhausted their retry budget (see table); re-run failures "
-            f"with --resume --journal {report.get('journal_path', '?')}"
-        )
+        if report.get("oracle_violations") and not counts.get("failed"):
+            lines.append(
+                "verdict: DEGRADED — campaign completed, but runtime "
+                "oracles detected corruption and fell back to reference "
+                "paths (see oracle counts above)"
+            )
+        else:
+            lines.append(
+                "verdict: DEGRADED — campaign completed, but some tasks "
+                "exhausted their retry budget (see table); re-run failures "
+                f"with --resume --journal {report.get('journal_path', '?')}"
+            )
     else:
         lines.append("verdict: OK — every task completed")
     return "\n".join(lines)

@@ -18,14 +18,20 @@ from repro.bench.harness import (
     time_best,
     write_report,
 )
-from repro.bench.suite import run_suite
+from repro.bench.suite import (
+    ORACLE_OVERHEAD_BUDGET,
+    oracle_overhead_failures,
+    run_suite,
+)
 
 __all__ = [
     "BENCH_SCHEMA",
+    "ORACLE_OVERHEAD_BUDGET",
     "REGRESSION_THRESHOLD",
     "BenchResult",
     "compare_to_baseline",
     "load_report",
+    "oracle_overhead_failures",
     "run_suite",
     "time_best",
     "write_report",

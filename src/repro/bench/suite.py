@@ -13,8 +13,14 @@ timing is trusted:
   operator/LU path; temperatures must be bit-identical.
 * ``thermal-transient`` — cold backward-Euler setup vs the cached
   (geometry, dt) factorization; peak curves must be bit-identical.
+* ``oracle-overhead/*`` — the same hot path with oracles off
+  (reference) vs ``sample`` mode (optimized); results must match
+  exactly and the slowdown must stay within
+  :data:`ORACLE_OVERHEAD_BUDGET`.
 
-Timing happens only through :func:`repro.bench.harness.time_best`.
+The fast-path pairs above time with oracles *off* — they measure the
+fast path itself; the oracle tax is measured by its own pair.  Timing
+happens only through :func:`repro.bench.harness.time_best`.
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ from repro.bench.harness import BenchResult, time_best
 from repro.floorplan.core2duo import core2duo_floorplan
 from repro.memsim.config import baseline_config
 from repro.memsim.replay import ReplayStats, replay_trace
+from repro.oracles.config import oracle_mode
 from repro.thermal.solver import (
     SolverConfig,
     clear_operator_cache,
@@ -39,6 +46,10 @@ from repro.traces.generator import (
     WorkloadSpec,
     records_to_array,
 )
+
+#: Allowed fractional slowdown of ``--oracles sample`` over oracles-off
+#: on the hot paths (the ISSUE budget: <= 5%).
+ORACLE_OVERHEAD_BUDGET = 0.05
 
 #: (kernel, n_records, warmup_fraction) per tier.  High-hit kernels
 #: (svd, gauss) stress the fast path's inline L1/L2 walks; pcg in the
@@ -206,6 +217,105 @@ def bench_thermal_transient(
     )
 
 
+def bench_oracle_replay(
+    kernel: str,
+    n_records: int,
+    warmup_fraction: float,
+    seed: int,
+    repeats: int,
+) -> BenchResult:
+    """The chunked replay path with oracles off vs ``sample`` mode."""
+    spec = WorkloadSpec(name=kernel, n_records=n_records, seed=seed)
+    array = TraceGenerator(spec, scale=_REPLAY_SCALE).arrays()
+    config = baseline_config(_REPLAY_SCALE)
+
+    def run_off() -> ReplayStats:
+        with oracle_mode("off"):
+            return replay_trace(
+                array, config, warmup_fraction=warmup_fraction
+            )
+
+    def run_sample() -> ReplayStats:
+        with oracle_mode("sample"):
+            return replay_trace(
+                array, config, warmup_fraction=warmup_fraction
+            )
+
+    off_stats = run_off()
+    sample_stats = run_sample()
+    equivalent = (
+        _stats_signature(off_stats) == _stats_signature(sample_stats)
+        and not sample_stats.degraded
+    )
+    reference_s = time_best(run_off, repeats)
+    optimized_s = time_best(run_sample, repeats)
+    return BenchResult(
+        name=f"oracle-overhead/replay-{kernel}",
+        reference_s=reference_s,
+        optimized_s=optimized_s,
+        equivalent=equivalent,
+        repeats=repeats,
+        meta={
+            "n_records": n_records,
+            "warmup_fraction": warmup_fraction,
+            "seed": seed,
+            "scale": _REPLAY_SCALE,
+            "budget": ORACLE_OVERHEAD_BUDGET,
+        },
+    )
+
+
+def bench_oracle_steady(nx: int, repeats: int) -> BenchResult:
+    """The warm cached-operator solve with oracles off vs ``sample``."""
+    stack = build_planar_stack(core2duo_floorplan())
+    config = SolverConfig(nx=nx, ny=nx)
+
+    def run_off():
+        with oracle_mode("off"):
+            return solve_steady_state(stack, config)
+
+    def run_sample():
+        with oracle_mode("sample"):
+            return solve_steady_state(stack, config)
+
+    with oracle_mode("off"):
+        clear_operator_cache()
+    off_solution = run_off()  # also primes the operator cache
+    sample_solution = run_sample()
+    equivalent = bool(
+        np.array_equal(
+            off_solution.temperature, sample_solution.temperature
+        )
+        and not sample_solution.degraded
+    )
+    reference_s = time_best(run_off, repeats)
+    optimized_s = time_best(run_sample, repeats)
+    return BenchResult(
+        name="oracle-overhead/thermal-steady",
+        reference_s=reference_s,
+        optimized_s=optimized_s,
+        equivalent=equivalent,
+        repeats=repeats,
+        meta={"nx": nx, "budget": ORACLE_OVERHEAD_BUDGET},
+    )
+
+
+def oracle_overhead_failures(results: List[BenchResult]) -> List[str]:
+    """Names of ``oracle-overhead/*`` pairs whose slowdown blows the budget."""
+    failures: List[str] = []
+    for result in results:
+        if not result.name.startswith("oracle-overhead/"):
+            continue
+        budget = float(result.meta.get("budget", ORACLE_OVERHEAD_BUDGET))
+        if result.optimized_s > (1.0 + budget) * result.reference_s:
+            overhead = result.optimized_s / max(result.reference_s, 1e-12) - 1
+            failures.append(
+                f"{result.name}: sample-mode overhead "
+                f"{100 * overhead:.1f}% > {100 * budget:.0f}% budget"
+            )
+    return failures
+
+
 def run_suite(
     quick: bool = True,
     seed: int = 1234,
@@ -226,21 +336,32 @@ def run_suite(
     say = progress or (lambda message: None)
     results: List[BenchResult] = []
 
-    for kernel, n_records in _TRACE_GEN_PLAN[tier]:
-        say(f"bench trace-gen/{kernel} ({n_records} records)...")
-        results.append(
-            bench_trace_generation(kernel, n_records, seed, repeats)
-        )
-    for kernel, n_records, warmup in _REPLAY_PLAN[tier]:
-        say(f"bench replay/{kernel} ({n_records} records)...")
-        results.append(
-            bench_replay(kernel, n_records, warmup, seed, repeats)
-        )
-    nx = 40 if quick else 48
-    say(f"bench thermal-steady (nx={nx})...")
-    results.append(bench_thermal_steady(nx, repeats))
-    nx_t = 32 if quick else 40
-    steps = 10 if quick else 20
-    say(f"bench thermal-transient (nx={nx_t}, {steps} steps)...")
-    results.append(bench_thermal_transient(nx_t, steps, repeats))
+    # The fast-path pairs measure the fast path itself: oracles off.
+    # The oracle tax has its own dedicated pairs below.
+    with oracle_mode("off"):
+        for kernel, n_records in _TRACE_GEN_PLAN[tier]:
+            say(f"bench trace-gen/{kernel} ({n_records} records)...")
+            results.append(
+                bench_trace_generation(kernel, n_records, seed, repeats)
+            )
+        for kernel, n_records, warmup in _REPLAY_PLAN[tier]:
+            say(f"bench replay/{kernel} ({n_records} records)...")
+            results.append(
+                bench_replay(kernel, n_records, warmup, seed, repeats)
+            )
+        nx = 40 if quick else 48
+        say(f"bench thermal-steady (nx={nx})...")
+        results.append(bench_thermal_steady(nx, repeats))
+        nx_t = 32 if quick else 40
+        steps = 10 if quick else 20
+        say(f"bench thermal-transient (nx={nx_t}, {steps} steps)...")
+        results.append(bench_thermal_transient(nx_t, steps, repeats))
+
+    kernel, n_records, warmup = _REPLAY_PLAN[tier][0]
+    say(f"bench oracle-overhead/replay-{kernel} ({n_records} records)...")
+    results.append(
+        bench_oracle_replay(kernel, n_records, warmup, seed, repeats)
+    )
+    say(f"bench oracle-overhead/thermal-steady (nx={nx})...")
+    results.append(bench_oracle_steady(nx, repeats))
     return results

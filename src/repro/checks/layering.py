@@ -32,6 +32,7 @@ from repro.checks.diagnostics import Diagnostic, PyFile
 #: treated as single-module packages.
 DEFAULT_LAYERS: Dict[str, int] = {
     "resilience": 0,
+    "oracles": 1,
     "traces": 1,
     "floorplan": 1,
     "thermal": 2,

@@ -16,6 +16,8 @@ Commands:
   strict/lenient validation and optional checkpoint/resume.
 * ``sweep`` — run a campaign of experiments in crash-isolated,
   supervised workers with timeouts, retries, and a resumable journal.
+* ``verify`` — integrity-check an artifact offline: a checkpoint's
+  sha256 envelope or a journal's per-line CRCs; exits 1 on corruption.
 * ``lint`` — run the four static invariant passes (determinism,
   layering, experiment contracts, physics hygiene) over the source
   tree; exits 2 on violations not grandfathered by the baseline.
@@ -50,7 +52,10 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.core.experiments import run_experiment
+    from repro.oracles.config import set_oracle_mode
 
+    if getattr(args, "oracles", None):
+        set_oracle_mode(args.oracles)
     experiment = get_experiment(args.experiment)
     kwargs = {}
     if args.nx:
@@ -58,14 +63,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.scale:
         kwargs["scale"] = args.scale
     # Failures are captured (not raised) so the exit status is always
-    # meaningful for scripting: 0 on success, 1 on failure.  --strict
-    # re-raises for debugging with a full traceback.
+    # meaningful for scripting: 0 on success, 1 on failure, 3 on a
+    # completed-but-degraded run (an oracle detected corruption and
+    # fell back to a trusted path).  --strict re-raises for debugging
+    # with a full traceback.
     outcome = run_experiment(
         args.experiment, strict=args.strict, seed=args.seed, **kwargs
     )
+    violations = (outcome.oracles or {}).get("violations", [])
     if args.json:
         print(json.dumps(outcome.to_dict(), indent=2, default=str))
-        return 0 if outcome.ok else 1
+        return (3 if violations else 0) if outcome.ok else 1
     print(f"{experiment.id}: {experiment.title}")
     print("\npaper values:")
     print(json.dumps(experiment.paper_values, indent=2, default=str))
@@ -79,7 +87,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 1
     print("\nmeasured:")
     print(json.dumps(outcome.result, indent=2, default=str))
-    return 0
+    if outcome.oracles:
+        checks = outcome.oracles.get("total_checks", 0)
+        print(f"\noracles ({outcome.oracles.get('mode')}): "
+              f"{checks} checks, {len(violations)} violation(s)")
+        for violation in violations:
+            print(f"  DEGRADED [{violation.get('oracle')}] "
+                  f"{violation.get('detail')} -> {violation.get('action')}")
+    return 3 if violations else 0
 
 
 def _parse_chaos_force(specs: List[str]) -> dict:
@@ -158,6 +173,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         journal_path=args.journal,
         resume=args.resume,
         injector=injector,
+        oracle_mode=args.oracles,
     )
     report = run_campaign(tasks, config)
     rendered = render_campaign_report(report.to_dict())
@@ -206,6 +222,45 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Offline integrity check of a checkpoint or journal artifact."""
+    from repro.resilience.checkpoint import MAGIC, verify_checkpoint
+    from repro.resilience.errors import CheckpointError
+    from repro.runner.journal import scan_journal
+
+    try:
+        with open(args.artifact, "rb") as handle:
+            head = handle.read(len(MAGIC))
+    except OSError as exc:
+        print(f"verify: cannot read {args.artifact}: {exc}", file=sys.stderr)
+        return 2
+
+    if head == MAGIC:
+        try:
+            summary = verify_checkpoint(args.artifact)
+        except CheckpointError as exc:
+            print(f"verify: CORRUPT checkpoint: {exc}", file=sys.stderr)
+            return 1
+        print(f"{args.artifact}: checkpoint OK")
+        for key in ("version", "kind", "nbytes", "sha256", "note"):
+            if summary.get(key) is not None:
+                print(f"  {key:8} {summary[key]}")
+        return 0
+
+    # Not a checkpoint: treat as a JSONL journal and verify line CRCs.
+    entries, torn, crc_failed = scan_journal(args.artifact)
+    print(f"{args.artifact}: journal with {len(entries)} verifiable "
+          f"entr(ies), {torn} torn line(s), {crc_failed} CRC failure(s)")
+    if crc_failed:
+        print("verify: CORRUPT journal: CRC-failed line(s) will be "
+              "re-run on --resume", file=sys.stderr)
+        return 1
+    if not entries and torn:
+        print("verify: journal holds no verifiable entries", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.checks.engine import main as lint_main
 
@@ -216,6 +271,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import (
         compare_to_baseline,
         load_report,
+        oracle_overhead_failures,
         run_suite,
         write_report,
     )
@@ -247,6 +303,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"bench: equivalence FAILED for {failed_equivalence}",
             file=sys.stderr,
         )
+        return 1
+    overhead_failures = oracle_overhead_failures(results)
+    if overhead_failures:
+        print("bench: oracle overhead OVER BUDGET:", file=sys.stderr)
+        for problem in overhead_failures:
+            print(f"  {problem}", file=sys.stderr)
         return 1
     if args.baseline:
         try:
@@ -399,6 +461,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--strict", action="store_true",
                      help="re-raise failures with a traceback instead of "
                           "capturing them")
+    run.add_argument("--oracles", choices=("off", "sample", "strict"),
+                     default="sample",
+                     help="runtime invariant oracles: off, sample "
+                          "(default; cheap checks + sampled differential "
+                          "re-execution), or strict (check everything)")
     run.add_argument("--lenient", action="store_true",
                      help=argparse.SUPPRESS)  # former default; kept for compat
 
@@ -443,8 +510,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="corrupt-result probability")
     sweep.add_argument("--chaos-force", action="append", metavar="MODE[:TASK[:N]]",
                        help="force a worker fault: crash|hang|stall|"
-                            "corrupt-result, optionally for one task id, "
-                            "N times (-1 = always)")
+                            "corrupt-result|flip-operator, optionally for "
+                            "one task id, N times (-1 = always)")
+    sweep.add_argument("--oracles", choices=("off", "sample", "strict"),
+                       default="sample",
+                       help="oracle mode workers run under (default: "
+                            "sample)")
+
+    verify = sub.add_parser(
+        "verify",
+        help="integrity-check a checkpoint (sha256 envelope) or journal "
+             "(per-line CRC) without applying it",
+    )
+    verify.add_argument("artifact",
+                        help="checkpoint or JSONL journal file to verify")
 
     replay = sub.add_parser(
         "replay", help="replay a trace file through the memory hierarchy"
@@ -559,6 +638,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "validate": _cmd_validate,
         "replay": _cmd_replay,
         "sweep": _cmd_sweep,
+        "verify": _cmd_verify,
         "lint": _cmd_lint,
         "bench": _cmd_bench,
     }

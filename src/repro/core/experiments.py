@@ -18,6 +18,7 @@ import traceback
 from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
+from repro.oracles.report import oracle_report, reset_oracles
 from repro.resilience.errors import ReproError
 
 
@@ -76,6 +77,10 @@ class ExperimentOutcome:
         fingerprint: :func:`task_fingerprint` of (id, kwargs, seed) — a
             journaled failure plus this triple reproduces the run
             bit-for-bit.
+        oracles: Structured :class:`~repro.oracles.report.OracleReport`
+            dict for this run — check counts, violations, and whether
+            the result is ``degraded`` (oracle fired, run fell back to
+            a trusted path).  Empty when oracles were off.
     """
 
     experiment_id: str
@@ -88,6 +93,7 @@ class ExperimentOutcome:
     seed: Optional[int] = None
     kwargs: Dict[str, Any] = field(default_factory=dict)
     fingerprint: str = ""
+    oracles: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable view (CLI ``--json``, worker results)."""
@@ -422,6 +428,9 @@ def run_experiment(
             import numpy as np
 
             np.random.seed(seed % 2**32)
+    # Oracle scoreboard is per-run: reset here so the outcome's report
+    # covers exactly this experiment, success or failure.
+    reset_oracles()
     start = time.perf_counter()
     try:
         result = experiment.run(**kwargs)
@@ -438,6 +447,7 @@ def run_experiment(
             seed=seed,
             kwargs=dict(kwargs),
             fingerprint=fingerprint,
+            oracles=_collect_oracles(),
         )
     return ExperimentOutcome(
         experiment_id=experiment_id,
@@ -447,4 +457,13 @@ def run_experiment(
         seed=seed,
         kwargs=dict(kwargs),
         fingerprint=fingerprint,
+        oracles=_collect_oracles(),
     )
+
+
+def _collect_oracles() -> Dict[str, Any]:
+    """Snapshot the oracle scoreboard; empty when oracles are off."""
+    report = oracle_report()
+    if report.mode == "off" and report.total_checks == 0:
+        return {}
+    return report.to_dict()

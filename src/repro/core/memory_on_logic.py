@@ -27,6 +27,9 @@ from repro.memsim.config import (
     stacked_sram_config,
 )
 from repro.memsim.replay import ReplayStats, replay_trace
+from repro.oracles.config import get_oracle_config
+from repro.oracles.invariants import check_cpma_band
+from repro.oracles.report import record_check, record_violation
 from repro.thermal.model import simulate_planar, simulate_stack
 from repro.thermal.solver import SolverConfig
 from repro.traces.generator import TraceGenerator, WorkloadSpec
@@ -222,6 +225,17 @@ def run_performance_study(
             bandwidth[name][config.name] = stats.bandwidth_gbps
             bus_power[name][config.name] = stats.bus_power_w
             replay[name][config.name] = stats
+            if get_oracle_config().enabled:
+                # CPMA sanity band per Table 1 kernel: a value far
+                # outside the published behaviour means bookkeeping
+                # corruption, not a modelling change.
+                record_check("uarch.cpma-band")
+                for problem in check_cpma_band(name, stats.cpma):
+                    record_violation(
+                        "uarch.cpma-band",
+                        "memsim",
+                        f"{config.name}: {problem}",
+                    )
     return MemoryOnLogicResult(
         cpma=cpma,
         bandwidth=bandwidth,

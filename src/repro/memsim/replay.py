@@ -28,16 +28,23 @@ record, lenient mode quarantines bad records and reports counts.
 from __future__ import annotations
 
 import itertools
+import pickle
 from bisect import insort
 from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Any, Dict, Iterable, List, Optional, Union
 
 import numpy as np
 
 from repro.memsim.config import HierarchyConfig
 from repro.memsim.hierarchy import L1, L2, MemoryHierarchy
+from repro.oracles.config import get_oracle_config
+from repro.oracles.invariants import (
+    check_cache_sets,
+    check_directory_consistency,
+)
+from repro.oracles.report import record_check, record_violation
 from repro.resilience.checkpoint import load_checkpoint, save_checkpoint
 from repro.resilience.guards import TraceGuard
 from repro.traces.generator import TRACE_DTYPE, array_to_records
@@ -69,6 +76,9 @@ class ReplayStats:
         quarantined: Records rejected by a lenient trace guard (0 when
             no guard was active or the stream was clean).
         quarantined_by_reason: Rejection counts keyed by violation tag.
+        degraded: True when a replay oracle detected a fast-path
+            divergence and the run fell back to the reference path (the
+            numbers are correct, the fast path was not trusted).
     """
 
     n_accesses: int
@@ -83,6 +93,7 @@ class ReplayStats:
     invalidations: int = 0
     quarantined: int = 0
     quarantined_by_reason: Dict[str, int] = field(default_factory=dict)
+    degraded: bool = False
 
 
 class TraceReplayer:
@@ -126,6 +137,19 @@ class TraceReplayer:
         self._level_latency_n: Dict[str, int] = {}
         self._measure_start: Optional[float] = None
         self._end_time = 0.0
+        # Oracle bookkeeping (see feed_array): chunks replayed so far,
+        # whether a differential check ever diverged, and whether the
+        # rest of the run is pinned to the reference per-record path.
+        self._chunk_counter = 0
+        self._oracle_fallback = False
+        self._oracle_degraded = False
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        """Unpickle, defaulting oracle fields absent from old snapshots."""
+        self.__dict__.update(state)
+        self.__dict__.setdefault("_chunk_counter", 0)
+        self.__dict__.setdefault("_oracle_fallback", False)
+        self.__dict__.setdefault("_oracle_degraded", False)
 
     # -- the per-record hot path ---------------------------------------------
 
@@ -292,6 +316,15 @@ class TraceReplayer:
         ``TraceCorruptionError``) unless a guard is installed, in which
         case rows are validated and replayed one record at a time.
 
+        With oracles enabled (:mod:`repro.oracles`), the batch is split
+        into fixed-size chunks; every chunk runs cheap conservation
+        invariants, and sampled chunks are re-executed on the reference
+        :meth:`feed` path against a cloned replayer and compared state
+        field for state field.  A divergence records a violation, adopts
+        the reference state, and pins the rest of the run to the
+        reference path — the run completes ``degraded`` rather than
+        crashing or silently trusting the fast path.
+
         Args/returns as :meth:`feed_many`.
         """
         if array.dtype != TRACE_DTYPE:
@@ -314,6 +347,7 @@ class TraceReplayer:
                 checkpoint_every=checkpoint_every,
                 checkpoint_path=checkpoint_path,
             )
+        cfg = get_oracle_config()
         consumed = 0
         while consumed < n:
             stop = n
@@ -321,7 +355,31 @@ class TraceReplayer:
                 stop = min(
                     n, (consumed // checkpoint_every + 1) * checkpoint_every
                 )
-            self._feed_rows(array, consumed, stop)
+            if cfg.enabled:
+                stop = min(stop, consumed + cfg.replay_chunk)
+            if self._oracle_fallback:
+                # A prior differential diverged: the fast path is not
+                # trusted for the rest of this run.
+                self.feed_many(array_to_records(array[consumed:stop]))
+            elif cfg.enabled:
+                counter = self._chunk_counter
+                self._chunk_counter = counter + 1
+                crosses_warmup = bool(
+                    self.warmup_until
+                    and self.index < self.warmup_until <= self.index
+                    + (stop - consumed)
+                )
+                before = self._counter_snapshot()
+                if cfg.strict or (
+                    counter > 0 and counter % cfg.sample_stride == 0
+                ):
+                    self._differential_chunk(array, consumed, stop)
+                    self._structure_invariants()
+                else:
+                    self._feed_rows(array, consumed, stop)
+                self._chunk_invariants(before, stop - consumed, crosses_warmup)
+            else:
+                self._feed_rows(array, consumed, stop)
             consumed = stop
             if checkpoint_every and consumed % checkpoint_every == 0:
                 self.checkpoint(checkpoint_path)
@@ -590,12 +648,209 @@ class TraceReplayer:
             l2_fast_hits,
         )
 
+    # -- oracles -------------------------------------------------------------
+
+    @staticmethod
+    def _cache_fingerprint(cache: Any) -> Optional[Dict[str, Any]]:
+        if cache is None:
+            return None
+        return {
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "evictions": cache.evictions,
+            "writebacks": cache.writebacks,
+            # Dict order IS the LRU order, so == checks it too.
+            "sets": [list(entries.items()) for entries in cache._sets],
+        }
+
+    @staticmethod
+    def _dram_cache_fingerprint(dc: Any) -> Optional[Dict[str, Any]]:
+        if dc is None:
+            return None
+        return {
+            "sector_hits": dc.sector_hits,
+            "sector_misses": dc.sector_misses,
+            "page_misses": dc.page_misses,
+            "page_evictions": dc.page_evictions,
+            "dirty_sector_writebacks": dc.dirty_sector_writebacks,
+            "sets": [list(entries.items()) for entries in dc._sets],
+            "dirty": [list(entries.items()) for entries in dc._dirty],
+            "bank_free": list(dc.banks._bank_free),
+            "open_pages": list(dc.banks._open_page),
+        }
+
+    def state_fingerprint(self) -> Dict[str, Any]:
+        """Everything observable about the replay, for exact comparison.
+
+        Covers cache contents *and* LRU order (dict order), the
+        coherence directory, prefetch history, DRAM bank/page state, bus
+        accounting, ROBs, completion tables, and every timing
+        accumulator — the same surface the fast-path equivalence tests
+        compare, so a differential mismatch pinpoints the diverged
+        field.
+        """
+        h = self.hierarchy
+        return {
+            "l1d": [self._cache_fingerprint(c) for c in h.l1s],
+            "l1i": [self._cache_fingerprint(c) for c in h.l1is],
+            "l2": self._cache_fingerprint(h.l2),
+            "stacked_sram": self._cache_fingerprint(h.stacked_sram),
+            "stacked_dram": self._dram_cache_fingerprint(h.stacked_dram),
+            "directory": dict(h._directory),
+            "miss_history": [list(d) for d in h._miss_history],
+            "level_counts": dict(h.level_counts),
+            "offchip_accesses": h.offchip_accesses,
+            "invalidations": h.invalidations,
+            "prefetches": h.prefetches,
+            "ddr_open_pages": list(h.ddr._open_page),
+            "ddr_bank_free": list(h.ddr._bank_free),
+            "ddr_page_hits": h.ddr.page_hits,
+            "ddr_page_empties": h.ddr.page_empties,
+            "ddr_page_conflicts": h.ddr.page_conflicts,
+            "bus_free_at": h.bus._free_at,
+            "bus_total_bytes": h.bus.total_bytes,
+            "bus_transfers": h.bus.transfers,
+            "bus_wait_cycles": h.bus.total_wait_cycles,
+            "index": self.index,
+            "next_free": list(self._next_free),
+            "outstanding": [list(o) for o in self._outstanding],
+            "robs": [list(r) for r in self._robs],
+            "completion": dict(self._completion),
+            "measured": self._measured,
+            "latency_sum": self._latency_sum,
+            "level_latency_sum": dict(self._level_latency_sum),
+            "level_latency_n": dict(self._level_latency_n),
+            "measure_start": self._measure_start,
+            "end_time": self._end_time,
+        }
+
+    def _counter_snapshot(self) -> Dict[str, float]:
+        """Cheap monotone-counter snapshot taken around every chunk."""
+        h = self.hierarchy
+        return {
+            "index": self.index,
+            "measured": self._measured,
+            "latency_sum": self._latency_sum,
+            "end_time": self._end_time,
+            "total_accesses": h.total_accesses,
+            "offchip_accesses": h.offchip_accesses,
+            "invalidations": h.invalidations,
+            "bus_total_bytes": h.bus.total_bytes,
+        }
+
+    def _record_replay_violation(self, detail: str, action: str) -> None:
+        self._oracle_degraded = True
+        record_violation("memsim.replay", "memsim", detail, action)
+
+    def _chunk_invariants(
+        self, before: Dict[str, float], rows: int, crosses_warmup: bool
+    ) -> None:
+        """O(1)-ish invariants run after *every* oracle-mode chunk."""
+        record_check("memsim.replay-chunk")
+        problems: List[str] = []
+        after = self._counter_snapshot()
+        if after["index"] != before["index"] + rows:
+            problems.append(
+                f"index advanced {after['index'] - before['index']} "
+                f"for a {rows}-row chunk"
+            )
+        if not crosses_warmup:
+            # reset_stats() at the warmup boundary legitimately rewinds
+            # these; any other decrease is corruption.
+            for key, value in before.items():
+                if after[key] < value:
+                    problems.append(
+                        f"monotone counter {key} decreased: "
+                        f"{value} -> {after[key]}"
+                    )
+        window = self.hierarchy.config.reorder_window
+        for cpu, rob in enumerate(self._robs):
+            if len(rob) > window:
+                problems.append(
+                    f"cpu{cpu} ROB holds {len(rob)} > window {window}"
+                )
+        mshrs = self.hierarchy.config.mshrs_per_cpu
+        for cpu, misses in enumerate(self._outstanding):
+            if len(misses) > mshrs:
+                problems.append(
+                    f"cpu{cpu} tracks {len(misses)} outstanding misses "
+                    f"> {mshrs} MSHRs"
+                )
+            if any(a > b for a, b in zip(misses, misses[1:])):
+                problems.append(f"cpu{cpu} MSHR completions out of order")
+        for problem in problems:
+            self._record_replay_violation(problem, "degraded")
+
+    def _structure_invariants(self) -> None:
+        """Cache/directory well-formedness (sampled chunks + stats())."""
+        record_check("memsim.replay-structure")
+        h = self.hierarchy
+        problems: List[str] = []
+        for cpu, cache in enumerate(h.l1s):
+            problems += check_cache_sets(
+                cache._sets, cache.config.ways, f"l1d{cpu}"
+            )
+        for cpu, cache in enumerate(h.l1is):
+            problems += check_cache_sets(
+                cache._sets, cache.config.ways, f"l1i{cpu}"
+            )
+        if h.l2 is not None:
+            problems += check_cache_sets(h.l2._sets, h.l2.config.ways, "l2")
+        if h.stacked_sram is not None:
+            problems += check_cache_sets(
+                h.stacked_sram._sets, h.stacked_sram.config.ways, "stacked-sram"
+            )
+        problems += check_directory_consistency(h)
+        for problem in problems:
+            self._record_replay_violation(problem, "degraded")
+
+    def _differential_chunk(
+        self, array: np.ndarray, start: int, stop: int
+    ) -> None:
+        """Replay one chunk on both paths and compare state exactly.
+
+        The reference replayer is a pickle clone taken *before* the fast
+        path touches anything, fed the same rows through the per-record
+        :meth:`feed` path.  On mismatch the reference state is adopted
+        (it is the trusted semantics) and the rest of the run is pinned
+        to the reference path.
+        """
+        record_check("memsim.replay-differential")
+        reference = pickle.loads(pickle.dumps(self))
+        reference.guard = None
+        self._feed_rows(array, start, stop)
+        for record in array_to_records(array[start:stop]):
+            reference.feed(record)
+        mine = self.state_fingerprint()
+        theirs = reference.state_fingerprint()
+        if mine == theirs:
+            return
+        diverged = sorted(
+            key for key in mine if mine[key] != theirs.get(key)
+        )
+        self._record_replay_violation(
+            "fast path diverged from reference replay at record "
+            f"{self.index} (fields: {', '.join(diverged[:6])})",
+            "fallback-reference",
+        )
+        # Adopt the reference state wholesale and stop trusting the
+        # fast path: correctness beats speed once an oracle fires.
+        degraded = self._oracle_degraded
+        self.__dict__.update(reference.__dict__)
+        self._oracle_degraded = degraded
+        self._oracle_fallback = True
+
     # -- finalization --------------------------------------------------------
 
     def stats(self) -> ReplayStats:
         """Finalize the replay into a :class:`ReplayStats`."""
         if self._measured == 0:
             raise ValueError("trace produced no measured references")
+        if get_oracle_config().enabled:
+            # Final well-formedness sweep: per-record (feed_many) runs
+            # get at least this one structural check even though they
+            # never pass through the chunk loop.
+            self._structure_invariants()
         hierarchy = self.hierarchy
         start = self._measure_start or 0.0
         wall = max(self._end_time - start, 1.0)
@@ -619,6 +874,7 @@ class TraceReplayer:
             quarantined_by_reason=(
                 dict(self.guard.quarantined_by_reason) if self.guard else {}
             ),
+            degraded=self._oracle_degraded,
         )
 
     # -- checkpoint/resume ---------------------------------------------------

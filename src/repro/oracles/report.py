@@ -1,0 +1,120 @@
+"""Oracle scoreboard: structured check/violation accounting per run.
+
+Engines call :func:`record_check` (cheap counter bump) for every oracle
+evaluation and :func:`record_violation` when one trips.  A violation
+never raises — the contract is *detect, degrade, keep going* — so the
+scoreboard is how detection becomes visible: ``run_experiment`` resets
+it before a run and attaches :func:`oracle_report` to the outcome, the
+campaign supervisor aggregates the counts into ``CampaignReport``, and
+any violation marks the run ``degraded``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.oracles.config import get_oracle_config
+
+
+@dataclass(frozen=True)
+class OracleViolation:
+    """One tripped oracle.
+
+    Attributes:
+        oracle: Check identifier, ``engine.check`` style (e.g.
+            ``thermal.conservation``, ``replay.differential``).
+        engine: Owning engine (``thermal``/``memsim``/``uarch``/
+            ``state``...).
+        detail: Human-readable description of what mismatched.
+        action: What the runtime did about it (``quarantined-entry``,
+            ``fallback-reference``, ``degraded`` ...).
+    """
+
+    oracle: str
+    engine: str
+    detail: str
+    action: str = "degraded"
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "oracle": self.oracle,
+            "engine": self.engine,
+            "detail": self.detail,
+            "action": self.action,
+        }
+
+
+@dataclass
+class OracleReport:
+    """Summary of all oracle activity since the last reset.
+
+    Attributes:
+        mode: Oracle mode the run executed under.
+        checks: Evaluations per oracle identifier.
+        violations: Every tripped oracle, in order.
+    """
+
+    mode: str
+    checks: Dict[str, int] = field(default_factory=dict)
+    violations: List[OracleViolation] = field(default_factory=list)
+
+    @property
+    def total_checks(self) -> int:
+        return sum(self.checks.values())
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "mode": self.mode,
+            "total_checks": self.total_checks,
+            "checks": dict(self.checks),
+            "violations": [v.to_dict() for v in self.violations],
+            "clean": self.clean,
+        }
+
+
+_CHECKS: Dict[str, int] = {}
+_VIOLATIONS: List[OracleViolation] = []
+
+
+def record_check(oracle: str, n: int = 1) -> None:
+    """Count *n* evaluations of *oracle* (no-op when oracles are off)."""
+    _CHECKS[oracle] = _CHECKS.get(oracle, 0) + n
+
+
+def record_violation(
+    oracle: str,
+    engine: str,
+    detail: str,
+    action: str = "degraded",
+) -> OracleViolation:
+    """Record a tripped oracle; returns the violation for local handling."""
+    violation = OracleViolation(
+        oracle=oracle, engine=engine, detail=detail, action=action
+    )
+    _VIOLATIONS.append(violation)
+    return violation
+
+
+def violations() -> List[OracleViolation]:
+    """Violations recorded since the last reset (shared list copy)."""
+    return list(_VIOLATIONS)
+
+
+def oracle_report(mode: Optional[str] = None) -> OracleReport:
+    """Snapshot the scoreboard into an :class:`OracleReport`."""
+    return OracleReport(
+        mode=mode if mode is not None else get_oracle_config().mode,
+        checks=dict(_CHECKS),
+        violations=list(_VIOLATIONS),
+    )
+
+
+def reset_oracles() -> None:
+    """Clear the scoreboard (start of each experiment run)."""
+    _CHECKS.clear()
+    _VIOLATIONS.clear()

@@ -27,6 +27,8 @@ _EXPORTS = {
     "SolverDivergenceError": "errors",
     "TraceCorruptionError": "errors",
     "CheckpointError": "errors",
+    "StateIntegrityError": "errors",
+    "OracleError": "errors",
     "GuardViolation": "errors",
     "TraceGuard": "guards",
     "check_finite": "guards",
@@ -42,6 +44,8 @@ _EXPORTS = {
     "solve_transient_resilient": "policy",
     "save_checkpoint": "checkpoint",
     "load_checkpoint": "checkpoint",
+    "verify_checkpoint": "checkpoint",
+    "quarantine_file": "checkpoint",
     "FaultInjector": "faults",
     "make_raw_record": "faults",
     "WORKER_FAULT_MODES": "faults",

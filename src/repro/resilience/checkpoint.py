@@ -1,30 +1,40 @@
 """Checkpoint files for interruptible simulator runs.
 
-A checkpoint is a pickled envelope ``{magic, version, kind, state}``
-written atomically (temp file + rename) so an interruption mid-write
-never destroys the previous good checkpoint.  ``kind`` tags which engine
-wrote it (``"replay"`` or ``"transient"``); loading with a mismatched
-kind, a truncated file, or a foreign format raises
-:class:`~repro.resilience.errors.CheckpointError` instead of handing the
-engine a garbage state.
+Version 2 layout (integrity-checked): ``MAGIC`` + a small pickled
+envelope ``{version, kind, sha256, nbytes}`` + the pickled state
+payload as raw bytes.  The envelope carries the sha256 of the payload,
+so a flipped bit anywhere in the state is detected *before* the bytes
+reach :mod:`pickle` — loading corrupt state raises
+:class:`~repro.resilience.errors.StateIntegrityError` and (on resume
+paths) quarantines the file to ``<name>.quarantined`` so the supervisor
+can re-run from the last good record instead of ingesting garbage.
 
-Checkpoints are trusted local files produced by the same codebase (they
-use :mod:`pickle`); do not load checkpoints from untrusted sources.
+Version 1 files (``{version, kind, state}`` in one pickle, no digest)
+are still read for backward compatibility; they get the structural
+checks but no integrity guarantee.
+
+Writes are atomic (temp file + rename) so an interruption mid-write
+never destroys the previous good checkpoint.  Checkpoints are trusted
+local files produced by the same codebase (they use :mod:`pickle`); do
+not load checkpoints from untrusted sources.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
-from repro.resilience.errors import CheckpointError
+from repro.resilience.errors import CheckpointError, StateIntegrityError
 
 #: Identifies a file as one of ours before unpickling the payload.
 MAGIC = b"REPRO-CKPT"
 #: Envelope format version; bump on incompatible layout changes.
-VERSION = 1
+VERSION = 2
+#: Oldest version this build still reads.
+MIN_VERSION = 1
 
 PathLike = Union[str, Path]
 
@@ -32,12 +42,19 @@ PathLike = Union[str, Path]
 def save_checkpoint(kind: str, state: Dict[str, Any], path: PathLike) -> Path:
     """Atomically write *state* as a *kind* checkpoint; returns the path."""
     path = Path(path)
-    envelope = {"version": VERSION, "kind": kind, "state": state}
+    payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+    envelope = {
+        "version": VERSION,
+        "kind": kind,
+        "sha256": hashlib.sha256(payload).hexdigest(),
+        "nbytes": len(payload),
+    }
     tmp = path.with_name(path.name + ".tmp")
     try:
         with open(tmp, "wb") as handle:
             handle.write(MAGIC)
             pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.write(payload)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, path)
@@ -47,14 +64,8 @@ def save_checkpoint(kind: str, state: Dict[str, Any], path: PathLike) -> Path:
     return path
 
 
-def load_checkpoint(path: PathLike, kind: str) -> Dict[str, Any]:
-    """Read a checkpoint of the given *kind*; returns its state dict.
-
-    Raises:
-        CheckpointError: missing file, foreign/truncated content, wrong
-            kind, or incompatible version.
-    """
-    path = Path(path)
+def _read_envelope(path: Path) -> Tuple[Dict[str, Any], bytes]:
+    """Read (envelope, payload bytes); payload is empty for v1 files."""
     try:
         with open(path, "rb") as handle:
             magic = handle.read(len(MAGIC))
@@ -68,20 +79,143 @@ def load_checkpoint(path: PathLike, kind: str) -> Dict[str, Any]:
                 raise CheckpointError(
                     f"{path} is truncated or corrupt: {exc}"
                 ) from exc
+            payload = handle.read()
     except FileNotFoundError as exc:
         raise CheckpointError(f"checkpoint {path} does not exist") from exc
     except OSError as exc:
         raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
-    if not isinstance(envelope, dict) or "state" not in envelope:
-        raise CheckpointError(f"{path} has no state payload")
-    if envelope.get("version") != VERSION:
+    if not isinstance(envelope, dict):
+        raise CheckpointError(f"{path} has no envelope")
+    version = envelope.get("version")
+    if not isinstance(version, int) or not (
+        MIN_VERSION <= version <= VERSION
+    ):
         raise CheckpointError(
-            f"{path} has checkpoint version {envelope.get('version')}, "
-            f"this build reads version {VERSION}"
+            f"{path} has checkpoint version {version}, this build reads "
+            f"versions {MIN_VERSION}..{VERSION}"
         )
+    return envelope, payload
+
+
+def quarantine_file(path: PathLike) -> Path:
+    """Move a corrupt artifact aside to ``<name>.quarantined``."""
+    path = Path(path)
+    target = path.with_name(path.name + ".quarantined")
+    os.replace(path, target)
+    return target
+
+
+def _integrity_failure(
+    path: Path, message: str, quarantine: bool
+) -> StateIntegrityError:
+    quarantined: Optional[str] = None
+    if quarantine:
+        try:
+            quarantined = str(quarantine_file(path))
+            message += f" (quarantined to {quarantined})"
+        except OSError:
+            quarantined = None
+    return StateIntegrityError(message, path=str(path), quarantined=quarantined)
+
+
+def load_checkpoint(
+    path: PathLike, kind: str, quarantine: bool = False
+) -> Dict[str, Any]:
+    """Read a checkpoint of the given *kind*; returns its state dict.
+
+    Args:
+        path: Checkpoint file.
+        kind: Expected engine tag (``"replay"``/``"transient"``).
+        quarantine: On an integrity failure, move the corrupt file to
+            ``<name>.quarantined`` before raising (resume paths set
+            this so a retry starts clean).
+
+    Raises:
+        CheckpointError: missing file, foreign/truncated content, wrong
+            kind, or incompatible version.
+        StateIntegrityError: the payload's sha256 does not match its
+            envelope (bit-rot or tampering detected).
+    """
+    path = Path(path)
+    envelope, payload = _read_envelope(path)
     if envelope.get("kind") != kind:
         raise CheckpointError(
             f"{path} is a {envelope.get('kind')!r} checkpoint, "
             f"expected {kind!r}"
         )
-    return envelope["state"]
+    if envelope.get("version") == 1:
+        if "state" not in envelope:
+            raise CheckpointError(f"{path} has no state payload")
+        return envelope["state"]
+    expected = envelope.get("sha256")
+    nbytes = envelope.get("nbytes")
+    if nbytes is not None and len(payload) != nbytes:
+        raise _integrity_failure(
+            path,
+            f"{path} is truncated or corrupt: payload is {len(payload)} "
+            f"bytes, envelope says {nbytes}",
+            quarantine,
+        )
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != expected:
+        raise _integrity_failure(
+            path,
+            f"{path} failed its sha256 integrity check "
+            f"(stored {expected}, computed {digest})",
+            quarantine,
+        )
+    try:
+        state = pickle.loads(payload)
+    except Exception as exc:
+        raise _integrity_failure(
+            path, f"{path} state payload does not unpickle: {exc}", quarantine
+        ) from exc
+    if not isinstance(state, dict):
+        raise CheckpointError(f"{path} has no state payload")
+    return state
+
+
+def verify_checkpoint(path: PathLike) -> Dict[str, Any]:
+    """Verify a checkpoint's envelope + digest without applying it.
+
+    Returns a summary dict (``version``, ``kind``, ``nbytes``,
+    ``sha256``) on success; raises :class:`CheckpointError` /
+    :class:`StateIntegrityError` (never quarantines — ``repro verify``
+    is read-only).
+    """
+    path = Path(path)
+    envelope, payload = _read_envelope(path)
+    version = envelope.get("version")
+    if version == 1:
+        if "state" not in envelope:
+            raise CheckpointError(f"{path} has no state payload")
+        return {
+            "path": str(path),
+            "version": 1,
+            "kind": envelope.get("kind"),
+            "nbytes": None,
+            "sha256": None,
+            "note": "version-1 checkpoint: no integrity envelope",
+        }
+    expected = envelope.get("sha256")
+    nbytes = envelope.get("nbytes")
+    if nbytes is not None and len(payload) != nbytes:
+        raise StateIntegrityError(
+            f"{path} is truncated or corrupt: payload is {len(payload)} "
+            f"bytes, envelope says {nbytes}",
+            path=str(path),
+        )
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != expected:
+        raise StateIntegrityError(
+            f"{path} failed its sha256 integrity check "
+            f"(stored {expected}, computed {digest})",
+            path=str(path),
+        )
+    return {
+        "path": str(path),
+        "version": version,
+        "kind": envelope.get("kind"),
+        "nbytes": nbytes,
+        "sha256": digest,
+    }

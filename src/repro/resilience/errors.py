@@ -32,6 +32,17 @@ The taxonomy:
     A run guard rejected an engine's output (implausible temperatures,
     negative power, residual above tolerance).  Also a
     :class:`ValueError` for backward compatibility.
+
+``StateIntegrityError``
+    Persisted state (a checkpoint envelope, a journal line) failed its
+    sha256/CRC integrity check.  Subclasses :class:`CheckpointError` so
+    every existing resume-failure handler already catches it; carries
+    the quarantine path when the corrupt file was set aside.
+
+``OracleError``
+    A runtime invariant oracle tripped *and* the caller asked for an
+    exception (``repro verify``, strict library use).  Campaign runs
+    never raise this — they record the violation and degrade.
 """
 
 from __future__ import annotations
@@ -97,6 +108,44 @@ class TraceCorruptionError(ReproError, ValueError):
 
 class CheckpointError(ReproError):
     """A checkpoint file could not be written, read, or applied."""
+
+
+class StateIntegrityError(CheckpointError):
+    """Persisted state failed its integrity check (corruption detected).
+
+    Attributes:
+        path: The offending file, if known.
+        quarantined: Where the corrupt file was moved (``*.quarantined``),
+            or None if it was left in place.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        path: Optional[str] = None,
+        quarantined: Optional[str] = None,
+        partial: Optional[Dict[str, Any]] = None,
+    ):
+        super().__init__(message, partial)
+        self.path = path
+        self.quarantined = quarantined
+
+
+class OracleError(ReproError):
+    """A runtime invariant oracle tripped and the caller wanted a raise.
+
+    Attributes:
+        oracle: Identifier of the tripped oracle (``engine.check``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        oracle: str = "oracle",
+        partial: Optional[Dict[str, Any]] = None,
+    ):
+        super().__init__(message, partial)
+        self.oracle = oracle
 
 
 class GuardViolation(ReproError, ValueError):

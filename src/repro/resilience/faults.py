@@ -9,8 +9,13 @@ to survive, so tests can prove every degradation path actually engages:
   validation the way a truncated or bit-flipped trace file would.
 * **Dropped dependencies** — silently remove producer records from the
   stream, leaving consumers pointing at uids that never complete.
-* **Power-map perturbation** — inject NaN or negative spikes into power
-  arrays to trip the power-map guard.
+* **Power-map perturbation** — inject NaN spikes or power dropouts into
+  power arrays to trip the power-map guard (densities are clamped at
+  zero: a faulty sensor reads nothing, never negative watts).
+* **Bit flips** — flip individual bits in byte buffers, files, or numpy
+  arrays to model storage/memory corruption of checkpoints, journal
+  lines, and cached operators; the integrity layer must detect every
+  one.
 * **Forced solver failures** — a stage budget consulted by the fallback
   ladder in :mod:`repro.resilience.policy`, so "LU failed" can be
   simulated without manufacturing a singular matrix.
@@ -43,8 +48,10 @@ CORRUPTION_MODES = (
 )
 
 #: Worker misbehaviors :meth:`FaultInjector.worker_fault` can direct
-#: (interpreted by ``repro.runner.worker``).
-WORKER_FAULT_MODES = ("crash", "hang", "stall", "corrupt-result")
+#: (interpreted by ``repro.runner.worker``).  ``flip-operator`` arms a
+#: one-shot bit flip in a cached thermal-operator array, modelling
+#: silent in-memory corruption the oracle layer must catch.
+WORKER_FAULT_MODES = ("crash", "hang", "stall", "corrupt-result", "flip-operator")
 
 
 def make_raw_record(
@@ -217,7 +224,12 @@ class FaultInjector:
     # -- thermal faults ------------------------------------------------------
 
     def perturb_power(self, power: np.ndarray) -> np.ndarray:
-        """Copy of *power* with NaN / negative spikes injected."""
+        """Copy of *power* with NaN spikes / dropouts injected.
+
+        Faulty power telemetry reads NaN or zero; densities are clamped
+        at 0.0 W so the injector never fabricates negative power (which
+        would violate the very thermal oracle it exercises).
+        """
         out = np.array(power, dtype=float, copy=True)
         flat = out.ravel()
         rate = self.power_fault_rate
@@ -227,6 +239,64 @@ class FaultInjector:
                     flat[i] = float("nan")
                     self._note("power:nan")
                 else:
-                    flat[i] = -abs(flat[i]) - 1.0
-                    self._note("power:negative")
+                    flat[i] = max(0.0, flat[i] - abs(flat[i]) - 1.0)
+                    self._note("power:dropout")
         return out
+
+    # -- bit flips (storage / memory corruption) -----------------------------
+
+    def flip_bits(self, data: bytes, n_flips: int = 1) -> bytes:
+        """Copy of *data* with *n_flips* random single-bit flips."""
+        if not data:
+            return data
+        buf = bytearray(data)
+        for _ in range(max(1, n_flips)):
+            pos = self._rng.randrange(len(buf))
+            bit = self._rng.randrange(8)
+            buf[pos] ^= 1 << bit
+            self._note("bitflip:bytes")
+        return bytes(buf)
+
+    def flip_file_bits(
+        self,
+        path: "str",
+        n_flips: int = 1,
+        offset_min: int = 0,
+    ) -> int:
+        """Flip *n_flips* bits in-place in the file at *path*.
+
+        *offset_min* protects a header prefix (e.g. the checkpoint
+        magic + envelope) so the flip lands in the payload.  Returns the
+        number of bits flipped.
+        """
+        with open(path, "r+b") as handle:
+            handle.seek(0, 2)
+            size = handle.tell()
+            if size <= offset_min:
+                return 0
+            flipped = 0
+            for _ in range(max(1, n_flips)):
+                pos = self._rng.randrange(offset_min, size)
+                handle.seek(pos)
+                byte = handle.read(1)[0]
+                bit = self._rng.randrange(8)
+                handle.seek(pos)
+                handle.write(bytes([byte ^ (1 << bit)]))
+                flipped += 1
+                self._note("bitflip:file")
+            handle.flush()
+        return flipped
+
+    def flip_array_bits(self, array: np.ndarray, n_flips: int = 1) -> int:
+        """Flip *n_flips* bits in-place in a numpy array's buffer."""
+        view = array.view(np.uint8).ravel()
+        if view.size == 0:
+            return 0
+        flipped = 0
+        for _ in range(max(1, n_flips)):
+            pos = self._rng.randrange(view.size)
+            bit = self._rng.randrange(8)
+            view[pos] ^= np.uint8(1 << bit)
+            flipped += 1
+            self._note("bitflip:array")
+        return flipped

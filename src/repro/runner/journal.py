@@ -7,6 +7,14 @@ tolerates and reports instead of refusing the whole file.  Resume
 (:func:`completed_fingerprints`) replays the journal and skips any task
 whose exact fingerprint (experiment id + kwargs + seed) already has an
 ``ok`` entry; failed tasks are re-run.
+
+Every line written carries a crc32 over its canonical JSON encoding
+(the ``crc`` key, see :mod:`repro.oracles.integrity`), so a bit flipped
+*inside* a line — which still parses as valid JSON — is detected on
+read instead of silently resuming from a corrupted result.  CRC-failed
+lines are dropped and counted (:func:`scan_journal`), which makes the
+supervisor re-run the affected task.  Lines without a ``crc`` key
+(pre-oracles journals) are accepted unchecked.
 """
 
 from __future__ import annotations
@@ -16,6 +24,8 @@ import json
 import os
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.oracles.integrity import attach_crc, verify_entry_crc
 
 #: Journal line format version; bump on incompatible schema changes.
 JOURNAL_VERSION = 1
@@ -49,11 +59,12 @@ def make_entry(
     error: Optional[str] = None,
     error_type: Optional[str] = None,
     result: Optional[Dict[str, Any]] = None,
+    oracles: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Build one schema-checked journal line."""
     if status not in STATUSES:
         raise ValueError(f"unknown journal status {status!r}; known: {STATUSES}")
-    return {
+    entry = {
         "v": JOURNAL_VERSION,
         "task_id": task_id,
         "experiment_id": experiment_id,
@@ -68,6 +79,9 @@ def make_entry(
         "error_type": error_type,
         "result": result if result is not None else {},
     }
+    if oracles:
+        entry["oracles"] = oracles
+    return entry
 
 
 class Journal:
@@ -82,8 +96,12 @@ class Journal:
         self._handle: Optional[io.TextIOWrapper] = None
 
     def append(self, entry: Dict[str, Any]) -> None:
-        """Append one entry as a single atomic-enough write + fsync."""
-        line = json.dumps(entry, sort_keys=True, default=str)
+        """Append one entry as a single atomic-enough write + fsync.
+
+        The entry's per-line crc32 is (re)computed here so the stored
+        CRC always covers exactly the bytes written.
+        """
+        line = json.dumps(attach_crc(entry), sort_keys=True, default=str)
         if "\n" in line:  # defensive: JSONL invariant
             line = line.replace("\n", " ")
         if self._handle is None:
@@ -129,20 +147,30 @@ class Journal:
         self.close()
 
 
-def read_journal(path: PathLike) -> Tuple[List[Dict[str, Any]], int]:
-    """Read every parseable entry; returns ``(entries, torn_lines)``.
+def scan_journal(
+    path: PathLike,
+) -> Tuple[List[Dict[str, Any]], int, int]:
+    """Read every verifiable entry; returns ``(entries, torn, crc_failed)``.
 
     Unparseable lines (a kill mid-append, disk-full truncation) are
-    counted, not fatal: a resumable journal must survive exactly the
-    failures it exists to record.  Entries from a future format version
-    are also skipped and counted.
+    counted as *torn*, not fatal: a resumable journal must survive
+    exactly the failures it exists to record.  Entries from a future
+    format version are also skipped and counted as torn.  Lines that
+    parse but fail their per-line CRC — a bit flip *inside* the JSON —
+    are dropped and counted as *crc_failed* so the caller re-runs the
+    task instead of trusting a corrupted record.
     """
     entries: List[Dict[str, Any]] = []
     torn = 0
+    crc_failed = 0
     path = Path(path)
     if not path.exists():
-        return entries, torn
-    with open(path, encoding="utf-8") as handle:
+        return entries, torn, crc_failed
+    # errors="replace": a bit flip can leave bytes that are not valid
+    # UTF-8; the replacement char then fails JSON parsing (torn) or the
+    # per-line CRC (crc_failed) for that one line instead of aborting
+    # the whole scan with UnicodeDecodeError.
+    with open(path, encoding="utf-8", errors="replace") as handle:
         for line in handle:
             line = line.strip()
             if not line:
@@ -158,7 +186,20 @@ def read_journal(path: PathLike) -> Tuple[List[Dict[str, Any]], int]:
             if entry.get("v", 0) > JOURNAL_VERSION:
                 torn += 1
                 continue
+            if not verify_entry_crc(entry):
+                crc_failed += 1
+                continue
             entries.append(entry)
+    return entries, torn, crc_failed
+
+
+def read_journal(path: PathLike) -> Tuple[List[Dict[str, Any]], int]:
+    """Back-compat wrapper over :func:`scan_journal`: ``(entries, torn)``.
+
+    CRC-failed lines are silently dropped here; callers that must
+    distinguish corruption from tearing use :func:`scan_journal`.
+    """
+    entries, torn, _ = scan_journal(path)
     return entries, torn
 
 

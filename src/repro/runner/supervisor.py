@@ -37,12 +37,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.experiments import task_fingerprint
 from repro.resilience.faults import FaultInjector
 from repro.runner.journal import (
     Journal,
     completed_fingerprints,
     make_entry,
-    read_journal,
+    scan_journal,
 )
 from repro.runner.tasks import CampaignTask
 
@@ -87,6 +88,7 @@ class CampaignConfig:
     injector: Optional[FaultInjector] = None
     poll_interval_s: float = 0.02
     kill_grace_s: float = 1.0
+    oracle_mode: str = "sample"
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -118,6 +120,10 @@ class CampaignReport:
     journal_path: str = ""
     resumed_ok: int = 0
     torn_journal_lines: int = 0
+    corrupt_journal_lines: int = 0
+    stale_resume: int = 0
+    oracle_checks: int = 0
+    oracle_violations: int = 0
 
     @property
     def ok(self) -> bool:
@@ -137,6 +143,10 @@ class CampaignReport:
             "journal_path": self.journal_path,
             "resumed_ok": self.resumed_ok,
             "torn_journal_lines": self.torn_journal_lines,
+            "corrupt_journal_lines": self.corrupt_journal_lines,
+            "stale_resume": self.stale_resume,
+            "oracle_checks": self.oracle_checks,
+            "oracle_violations": self.oracle_violations,
         }
 
 
@@ -217,6 +227,10 @@ class CampaignRunner:
             heartbeat_path=str(heartbeat_path),
             heartbeat_every_s=config.heartbeat_every_s,
             chaos=chaos,
+            chaos_seed=(
+                config.injector.seed if config.injector is not None else 0
+            ),
+            oracle_mode=config.oracle_mode,
             sys_path=[p for p in sys.path if p],
         )
         spec_path.write_text(json.dumps(spec), encoding="utf-8")
@@ -280,12 +294,18 @@ class CampaignRunner:
                 error_type="CorruptResult",
             )
         if payload["ok"]:
-            return dict(common, status="ok", result=payload.get("result", {}))
+            return dict(
+                common,
+                status="ok",
+                result=payload.get("result", {}),
+                oracles=payload.get("oracles") or {},
+            )
         return dict(
             common,
             status="error",
             error=payload.get("error"),
             error_type=payload.get("error_type") or "Exception",
+            oracles=payload.get("oracles") or {},
         )
 
     def _collect_killed(self, run: _Attempt, status: str,
@@ -328,6 +348,22 @@ class CampaignRunner:
             )
         return None
 
+    @staticmethod
+    def _entry_is_stale(entry: Dict[str, Any]) -> bool:
+        """A journaled-ok line whose fingerprint belies its own inputs.
+
+        The resume index is keyed on the *stored* fingerprint, so a line
+        whose ``fingerprint`` field no longer matches a recomputation
+        over its own recorded ``(experiment_id, kwargs, seed)`` would be
+        trusted for a task it never actually ran.  Detect and re-run.
+        """
+        expected = task_fingerprint(
+            entry.get("experiment_id", ""),
+            entry.get("kwargs") or {},
+            entry.get("seed"),
+        )
+        return expected != entry.get("fingerprint")
+
     # -- campaign loop -------------------------------------------------------
 
     def run(self, tasks: Sequence[CampaignTask]) -> CampaignReport:
@@ -342,18 +378,25 @@ class CampaignRunner:
         report = CampaignReport(journal_path=str(config.journal_path))
         resumed: Dict[str, Dict[str, Any]] = {}
         if config.resume:
-            entries, torn = read_journal(config.journal_path)
+            entries, torn, crc_failed = scan_journal(config.journal_path)
             report.torn_journal_lines = torn
+            report.corrupt_journal_lines = crc_failed
             resumed = completed_fingerprints(entries)
 
         #: (task, attempt, eligible_at_monotonic) waiting to launch.
         pending: List[Tuple[CampaignTask, int, float]] = []
         for task in tasks:
             done = resumed.get(task.fingerprint)
-            if done is not None:
+            if done is not None and not self._entry_is_stale(done):
                 report.resumed_ok += 1
                 report.tasks.append(dict(done, status="ok", resumed=True))
             else:
+                if done is not None:
+                    # Journaled-ok entry whose stored fingerprint does
+                    # not match its own recorded inputs: the line was
+                    # edited or corrupted after writing.  Re-run rather
+                    # than resume from untrustworthy state.
+                    report.stale_resume += 1
                 pending.append((task, 0, started))
 
         running: List[_Attempt] = []
@@ -410,6 +453,22 @@ class CampaignRunner:
             d, f = _solver_meta_counts(entry.get("result", {}))
             report.degraded_solves += d
             report.fallback_solves += f
+            if entry.get("resumed"):
+                # Oracle tallies belong to the run that produced them: a
+                # resumed-ok task's violations were surfaced (and its
+                # campaign degraded) back then, and its journaled result
+                # already came off the trusted reference path — they do
+                # not re-degrade this campaign.
+                continue
+            oracles = entry.get("oracles") or {}
+            report.oracle_checks += int(oracles.get("total_checks", 0))
+            report.oracle_violations += len(oracles.get("violations", []))
+        # An oracle violation means some result came off an untrusted
+        # fast path; the campaign completed but is not clean.  (Stale or
+        # CRC-failed journal lines are *not* degrading on their own —
+        # the affected tasks were re-run fresh — but stay on the report.)
+        if report.oracle_violations:
+            report.degraded = True
         report.wall_clock_s = round(time.monotonic() - started, 4)
         return report
 
@@ -439,6 +498,7 @@ class CampaignRunner:
             error=outcome.get("error"),
             error_type=outcome.get("error_type"),
             result=outcome.get("result"),
+            oracles=outcome.get("oracles"),
         )
         journal.append(entry)
         if failed:

@@ -28,6 +28,9 @@ can prove the supervisor survives it:
   kill it long before the wall-clock budget.
 * ``corrupt-result`` — report success but write garbage where the
   result should be.
+* ``flip-operator`` — flip one bit in the next cached thermal operator
+  the experiment reuses; the run *completes* but the oracle layer must
+  detect it and mark the result degraded.
 """
 
 from __future__ import annotations
@@ -103,6 +106,21 @@ def run_spec(spec: Dict[str, Any]) -> int:
 
     # Heavy imports only now, with heartbeats already flowing.
     from repro.core.experiments import run_experiment
+    from repro.oracles.config import set_oracle_mode
+
+    if spec.get("oracle_mode"):
+        set_oracle_mode(spec["oracle_mode"])
+    if chaos == "flip-operator":
+        # Arm a one-shot bit flip against the next cached thermal
+        # operator this worker reuses: the strict/sample oracle must
+        # catch it (detection is what the chaos CI job asserts).
+        from repro.resilience.faults import FaultInjector
+        from repro.thermal import solver as thermal_solver
+
+        injector = FaultInjector(seed=int(spec.get("chaos_seed", 0)))
+        thermal_solver.arm_operator_corruption(
+            lambda op: injector.flip_array_bits(op.matrix.data, n_flips=1)
+        )
 
     registry = _resolve_registry(
         spec.get("registry_spec", "repro.core.experiments:REGISTRY")
@@ -127,6 +145,7 @@ def run_spec(spec: Dict[str, Any]) -> int:
             "elapsed_s": outcome.elapsed_s,
             "seed": outcome.seed,
             "fingerprint": outcome.fingerprint,
+            "oracles": outcome.oracles,
         },
     )
     heartbeat_stop.set()

@@ -32,6 +32,13 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro.oracles.config import get_oracle_config
+from repro.oracles.integrity import crc32_of_arrays
+from repro.oracles.invariants import (
+    check_energy_conservation,
+    check_temperature_bounds,
+)
+from repro.oracles.report import record_check, record_violation
 from repro.resilience.errors import GuardViolation, SolverDivergenceError
 from repro.resilience.guards import relative_residual
 from repro.thermal.materials import AMBIENT_C, HEATSINK_H_EFF, MOTHERBOARD_H
@@ -271,6 +278,15 @@ class ThermalOperator:
     die_layers: List[str]
     steady_lu: Optional[Any] = None
     transient_lus: Dict[float, Any] = field(default_factory=dict)
+    #: crc32 over the geometry arrays at cache-insertion time; the
+    #: operator-integrity oracle rechecks it on reuse (every reuse in
+    #: strict mode) to catch in-memory corruption of the cached entry.
+    crc: int = 0
+    #: Number of times this entry was served from the cache.
+    reuse_count: int = 0
+    #: True once a differential re-assembly confirmed the cached entry
+    #: matches a from-scratch build for its key (done once per geometry).
+    assembly_verified: bool = False
 
 
 #: Geometry-keyed operator cache, LRU over :data:`_OPERATOR_CACHE_MAX`
@@ -300,6 +316,122 @@ def clear_operator_cache() -> None:
     _OPERATOR_CACHE.clear()
     _CACHE_STATS["hits"] = 0
     _CACHE_STATS["misses"] = 0
+
+
+#: One-shot corruption hook consumed on the next operator-cache hit
+#: (chaos testing: models a bit flip landing in a cached array while it
+#: sat in memory).  Armed via :func:`arm_operator_corruption`.
+_CORRUPTION_HOOK: Optional[Any] = None
+
+
+def arm_operator_corruption(hook: Any) -> None:
+    """Arm a one-shot hook(operator) fired on the next cache hit.
+
+    Fault-injection only: the campaign chaos mode ``flip-operator`` uses
+    this to flip bits inside a cached operator's arrays and prove the
+    operator-integrity oracle detects them.  The hook runs *before* the
+    oracle checks, exactly like real silent corruption would.
+    """
+    global _CORRUPTION_HOOK
+    _CORRUPTION_HOOK = hook
+
+
+def _operator_crc(operator: ThermalOperator) -> int:
+    """Integrity fingerprint over the geometry-dependent arrays."""
+    return crc32_of_arrays(
+        (
+            operator.matrix.data,
+            operator.matrix.indices,
+            operator.matrix.indptr,
+            operator.mass,
+            operator.boundary_rhs,
+        )
+    )
+
+
+def _operator_arrays_equal(a: ThermalOperator, b: ThermalOperator) -> bool:
+    """Bitwise equality of two operators' geometry arrays."""
+    return (
+        np.array_equal(a.matrix.data, b.matrix.data)
+        and np.array_equal(a.matrix.indices, b.matrix.indices)
+        and np.array_equal(a.matrix.indptr, b.matrix.indptr)
+        and np.array_equal(a.mass, b.mass)
+        and np.array_equal(a.boundary_rhs, b.boundary_rhs)
+    )
+
+
+def _quarantine_operator(
+    stack: ThermalStack,
+    config: SolverConfig,
+    key: Tuple[Any, ...],
+    detail: str,
+    oracle: str,
+) -> ThermalOperator:
+    """Drop a corrupt cached entry, record the violation, rebuild fresh."""
+    record_violation(oracle, "thermal", detail, action="quarantined-entry")
+    _OPERATOR_CACHE.pop(key, None)
+    fresh = _assemble_operator(stack, config, key)
+    fresh.crc = _operator_crc(fresh)
+    fresh.assembly_verified = True  # it IS the from-scratch build
+    _OPERATOR_CACHE[key] = fresh
+    return fresh
+
+
+def _verify_cached_operator(
+    stack: ThermalStack,
+    config: SolverConfig,
+    key: Tuple[Any, ...],
+    operator: ThermalOperator,
+) -> ThermalOperator:
+    """Oracle pass over a cache hit; returns the (possibly fresh) operator.
+
+    Two checks, never raising:
+
+    * **Integrity** — recompute the crc32 stored at insertion.  Checked
+      on the first reuse, then every ``sample_stride``-th reuse (every
+      reuse in strict mode).  A mismatch means the cached arrays were
+      corrupted in memory: the entry is quarantined and reassembled.
+    * **Differential** — once per geometry, re-run the full assembly
+      and compare bitwise, catching a stale/colliding cache entry.
+    """
+    global _CORRUPTION_HOOK
+    if _CORRUPTION_HOOK is not None:
+        hook, _CORRUPTION_HOOK = _CORRUPTION_HOOK, None
+        hook(operator)
+    cfg = get_oracle_config()
+    if not cfg.enabled:
+        return operator
+    operator.reuse_count += 1
+    check_crc = (
+        cfg.strict
+        or operator.reuse_count == 1
+        or operator.reuse_count % cfg.sample_stride == 0
+    )
+    if check_crc:
+        record_check("thermal.operator-crc")
+        if _operator_crc(operator) != operator.crc:
+            return _quarantine_operator(
+                stack,
+                config,
+                key,
+                "cached thermal operator failed its crc32 integrity "
+                f"recheck on reuse {operator.reuse_count}",
+                "thermal.operator-crc",
+            )
+    if not operator.assembly_verified:
+        record_check("thermal.operator-differential")
+        fresh = _assemble_operator(stack, config, key)
+        if not _operator_arrays_equal(operator, fresh):
+            return _quarantine_operator(
+                stack,
+                config,
+                key,
+                "cached thermal operator differs from a from-scratch "
+                "assembly for the same geometry key",
+                "thermal.operator-differential",
+            )
+        operator.assembly_verified = True
+    return operator
 
 
 @dataclass
@@ -518,10 +650,12 @@ def assemble_system(
     if operator is not None:
         _OPERATOR_CACHE.move_to_end(key)
         _CACHE_STATS["hits"] += 1
+        operator = _verify_cached_operator(stack, config, key, operator)
     else:
         operator = _assemble_operator(stack, config, key)
         if reuse_operator:
             _CACHE_STATS["misses"] += 1
+            operator.crc = _operator_crc(operator)
             _OPERATOR_CACHE[key] = operator
             while len(_OPERATOR_CACHE) > _OPERATOR_CACHE_MAX:
                 _OPERATOR_CACHE.popitem(last=False)
@@ -586,4 +720,46 @@ def solve_steady_state(
         )
     solution = system.solution_from(flat)
     solution.residual = relative_residual(system.matrix, flat, system.rhs)
+    _steady_solution_oracles(system, solution)
     return solution
+
+
+def _steady_solution_oracles(
+    system: DiscreteSystem, solution: "ThermalSolution"
+) -> None:
+    """Online invariant oracles over a direct steady solve (never raise).
+
+    Three cheap checks (Section 2.3 physics): the linear residual is
+    within tolerance, every watt injected leaves through the boundary
+    faces, and no cell sits below ambient or above the damage ceiling.
+    A trip records a violation and marks the solution degraded; the
+    numbers are still returned so a campaign completes degraded instead
+    of crashing.
+    """
+    cfg = get_oracle_config()
+    if not cfg.enabled:
+        return
+    problems: List[str] = []
+    record_check("thermal.residual")
+    if not (solution.residual <= cfg.residual_tol):
+        problems.append(
+            f"steady residual {solution.residual:.3g} above "
+            f"tolerance {cfg.residual_tol:.3g}"
+        )
+    record_check("thermal.conservation")
+    power_w = float(system.power_rhs.sum()) if system.power_rhs is not None \
+        else float("nan")
+    problems += check_energy_conservation(
+        solution.boundary_heat_flow(), power_w, cfg.conservation_rtol
+    )
+    record_check("thermal.bounds")
+    problems += check_temperature_bounds(
+        float(solution.temperature.min()),
+        float(solution.temperature.max()),
+        system.config.ambient_c,
+        cfg.temp_slack_c,
+    )
+    for problem in problems:
+        record_violation("thermal.steady", "thermal", problem)
+    if problems:
+        solution.degraded = True

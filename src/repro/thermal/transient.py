@@ -32,6 +32,9 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro.oracles.config import get_oracle_config
+from repro.oracles.invariants import check_temperature_bounds
+from repro.oracles.report import record_check, record_violation
 from repro.resilience.checkpoint import load_checkpoint, save_checkpoint
 from repro.resilience.errors import CheckpointError, SolverDivergenceError
 from repro.thermal.solver import (
@@ -146,7 +149,10 @@ def solve_transient(
 
     steps = int(round(duration_s / dt_s))
     if resume_from is not None:
-        state = load_checkpoint(resume_from, kind="transient")
+        # quarantine=True: a checkpoint failing its sha256 envelope is
+        # moved to *.quarantined so a retry restarts clean instead of
+        # tripping over the same corrupt bytes.
+        state = load_checkpoint(resume_from, kind="transient", quarantine=True)
         if state["n"] != n or state["dt_s"] != dt_s:
             raise CheckpointError(
                 f"checkpoint {resume_from} was written for n={state['n']}, "
@@ -201,8 +207,25 @@ def solve_transient(
                 },
                 checkpoint_path,
             )
+    final = system.solution_from(temperature)
+    cfg = get_oracle_config()
+    if cfg.enabled:
+        # Bounds oracle on the final field: a transient may legitimately
+        # pass through any trajectory, but its end state must still be
+        # physical (>= ambient with backward Euler from a cold start,
+        # below the damage ceiling).
+        record_check("thermal.transient-bounds")
+        field = final.temperature
+        # A caller-supplied initial field may legitimately start (and
+        # end) below ambient; only ambient starts get the lower bound.
+        floor = ambient if initial is None else float("-inf")
+        for problem in check_temperature_bounds(
+            float(field.min()), float(field.max()), floor, cfg.temp_slack_c
+        ):
+            record_violation("thermal.transient-bounds", "thermal", problem)
+            final.degraded = True
     return TransientResult(
         times_s=times,
         peak_c=peaks,
-        final=system.solution_from(temperature),
+        final=final,
     )

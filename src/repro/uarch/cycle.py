@@ -22,6 +22,9 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.oracles.config import get_oracle_config
+from repro.oracles.invariants import check_cpi_band, check_rob_occupancy
+from repro.oracles.report import record_check, record_violation
 from repro.uarch.pipeline import PipelineConfig
 from repro.uarch.workloads import WorkloadProfile
 
@@ -181,13 +184,35 @@ class CycleCoreSimulator:
                     cum_fetch = restart
 
         cycles = max(last_retire, 1.0)
-        return CycleResult(
+        result = CycleResult(
             instructions=n_instructions,
             cycles=cycles,
             ipc=n_instructions / cycles,
             mispredicts=mispredicts,
             l1_misses=l1_misses,
         )
+        cfg = get_oracle_config()
+        if cfg.enabled:
+            # Conservation oracles on the finished run: the ROB can
+            # never hold more than its capacity, retirement cannot beat
+            # the fetch bandwidth (cycles >= instructions/width), and
+            # IPC must land in (0, issue width].
+            record_check("uarch.cycle")
+            problems = check_rob_occupancy([len(rob)], p.rob_entries)
+            problems += check_cpi_band(result.ipc, p.issue_width)
+            if cycles + 1e-9 < n_instructions * issue_interval:
+                problems.append(
+                    f"{n_instructions} micro-ops retired in {cycles:.1f} "
+                    f"cycles — beats the width-{p.issue_width} fetch bound"
+                )
+            if mispredicts > n_instructions or l1_misses > n_instructions:
+                problems.append(
+                    "event counters exceed instruction count "
+                    f"(mispredicts={mispredicts}, l1_misses={l1_misses})"
+                )
+            for problem in problems:
+                record_violation("uarch.cycle", "uarch", problem)
+        return result
 
 
 def simulate_cycles(

@@ -100,6 +100,57 @@ class TestPowerPerturbation:
         power = np.linspace(0, 5, 10)
         np.testing.assert_array_equal(injector.perturb_power(power), power)
 
+    def test_dropouts_clamp_at_zero_watts(self):
+        # Regression: dropouts used to subtract past zero, fabricating
+        # negative power — which violates the very thermal oracle the
+        # injector exists to exercise.  A faulty sensor reads nothing,
+        # never negative watts.
+        for seed in range(8):
+            injector = FaultInjector(seed=seed, power_fault_rate=0.5)
+            perturbed = injector.perturb_power(np.full((5, 5), 0.25))
+            finite = perturbed[np.isfinite(perturbed)]
+            assert (finite >= 0.0).all(), f"seed {seed}: {finite.min()}"
+
+    def test_dropouts_are_noted(self):
+        injector = FaultInjector(seed=4, power_fault_rate=0.9)
+        injector.perturb_power(np.full(64, 2.0))
+        assert injector.injected.get("power:dropout", 0) > 0
+
+
+class TestBitFlips:
+    def test_flip_bits_deterministic_and_minimal(self):
+        data = bytes(range(64))
+        a = FaultInjector(seed=6).flip_bits(data, n_flips=2)
+        b = FaultInjector(seed=6).flip_bits(data, n_flips=2)
+        assert a == b != data
+        assert sum(
+            bin(x ^ y).count("1") for x, y in zip(a, data)
+        ) == 2
+
+    def test_flip_array_bits_in_place(self):
+        array = np.arange(32, dtype=np.float64)
+        pristine = array.copy()
+        flipped = FaultInjector(seed=6).flip_array_bits(array, n_flips=1)
+        assert flipped == 1
+        assert not np.array_equal(array, pristine)
+
+    def test_flip_file_bits_respects_header_guard(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        path.write_bytes(bytes(128))
+        FaultInjector(seed=6).flip_file_bits(path, n_flips=4, offset_min=64)
+        raw = path.read_bytes()
+        assert raw[:64] == bytes(64)  # header untouched
+        assert raw[64:] != bytes(64)
+
+    def test_flip_file_bits_too_small_is_noop(self, tmp_path):
+        path = tmp_path / "tiny.bin"
+        path.write_bytes(b"abc")
+        flipped = FaultInjector(seed=6).flip_file_bits(
+            path, n_flips=1, offset_min=16
+        )
+        assert flipped == 0
+        assert path.read_bytes() == b"abc"
+
 
 class TestRawRecordBypass:
     def test_make_raw_record_skips_validation(self):
