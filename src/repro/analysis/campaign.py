@@ -20,6 +20,7 @@ _GLYPHS = {
     "timeout": "TIMEOUT",
     "worker-dead": "DEAD",
     "corrupt-result": "CORRUPT",
+    "executor-lost": "LOST",
 }
 
 
@@ -90,9 +91,42 @@ def render_campaign_report(report: Dict[str, Any]) -> str:
             f"oracles: {report.get('oracle_checks', 0)} checks, "
             f"{report.get('oracle_violations', 0)} violation(s)"
         )
+    backend = report.get("backend", "local")
+    failover_bits = []
+    if report.get("executors_lost"):
+        failover_bits.append(f"{report['executors_lost']} executor(s) lost")
+    if report.get("leases_reclaimed"):
+        failover_bits.append(
+            f"{report['leases_reclaimed']} lease(s) reclaimed"
+        )
+    if report.get("work_stolen"):
+        failover_bits.append(f"{report['work_stolen']} task(s) work-stolen")
+    if report.get("duplicate_completions"):
+        failover_bits.append(
+            f"{report['duplicate_completions']} duplicate completion(s) "
+            f"discarded"
+        )
+    lines.append(
+        f"backend: {backend}"
+        + (f" — {', '.join(failover_bits)}" if failover_bits else "")
+    )
+    per_executor = report.get("per_executor", {})
+    if len(per_executor) > 1 or failover_bits:
+        for executor, tallies in sorted(per_executor.items()):
+            lines.append(
+                f"  {executor}: {tallies.get('ok', 0)} ok, "
+                f"{tallies.get('failed', 0)} failed, "
+                f"{tallies.get('duplicates', 0)} duplicate(s)"
+            )
     lines.append(f"wall clock: {report.get('wall_clock_s', 0.0):.2f}s")
     if report.get("degraded"):
-        if report.get("oracle_violations") and not counts.get("failed"):
+        if report.get("executors_lost") and not counts.get("failed"):
+            lines.append(
+                "verdict: DEGRADED — campaign completed (surviving "
+                "executors stole the orphaned work), but an executor was "
+                "lost mid-campaign; results are complete and journaled"
+            )
+        elif report.get("oracle_violations") and not counts.get("failed"):
             lines.append(
                 "verdict: DEGRADED — campaign completed, but runtime "
                 "oracles detected corruption and fell back to reference "

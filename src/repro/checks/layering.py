@@ -29,7 +29,11 @@ from typing import Dict, Iterable, List, Set, Tuple
 from repro.checks.diagnostics import Diagnostic, PyFile
 
 #: The repo's layer DAG.  Top-level modules (``repro/cli.py``) are
-#: treated as single-module packages.
+#: treated as single-module packages.  Subpackages share their parent's
+#: layer (``repro.runner.backends.*`` is ``runner``, layer 4): the
+#: scheduler/backend split is an *intra*-package seam, invisible to the
+#: DAG on purpose — backends may import runner policy modules and vice
+#: versa without a layering exemption.
 DEFAULT_LAYERS: Dict[str, int] = {
     "resilience": 0,
     "oracles": 1,

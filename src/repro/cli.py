@@ -98,24 +98,40 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _parse_chaos_force(specs: List[str]) -> dict:
-    """``mode[:task[:count]]`` flags -> FaultInjector forced_failures."""
-    from repro.resilience.faults import WORKER_FAULT_MODES
+    """``mode[:target[:count]]`` flags -> FaultInjector forced_failures.
 
+    Worker modes (``crash``, ``hang``, ...) target a task id and map to
+    ``worker-<mode>[:<task>]`` stages.  Executor modes
+    (``executor-crash``, ``partition``, ``lease-stall``) target an
+    executor id, and ``duplicate-delivery`` targets a task id; those map
+    to their stage names unprefixed.
+    """
+    from repro.resilience.faults import (
+        EXECUTOR_FAULT_MODES,
+        WORKER_FAULT_MODES,
+    )
+
+    backend_modes = EXECUTOR_FAULT_MODES + ("duplicate-delivery",)
     forced = {}
     for spec in specs:
         parts = spec.split(":")
         mode = parts[0]
-        if mode not in WORKER_FAULT_MODES:
+        if mode in WORKER_FAULT_MODES:
+            prefix = f"worker-{mode}"
+        elif mode in backend_modes:
+            prefix = mode
+        else:
+            known = WORKER_FAULT_MODES + backend_modes
             raise ValueError(
-                f"unknown chaos mode {mode!r}; known: {WORKER_FAULT_MODES}"
+                f"unknown chaos mode {mode!r}; known: {known}"
             )
         count = -1
-        task = ""
+        target = ""
         if len(parts) >= 2 and parts[1]:
-            task = parts[1]
+            target = parts[1]
         if len(parts) >= 3:
             count = int(parts[2])
-        key = f"worker-{mode}" + (f":{task}" if task else "")
+        key = prefix + (f":{target}" if target else "")
         forced[key] = count
     return forced
 
@@ -165,16 +181,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             worker_fault_rates=rates,
         )
 
-    config = CampaignConfig(
-        workers=args.workers,
-        task_timeout_s=args.timeout,
-        heartbeat_timeout_s=args.heartbeat_timeout,
-        retry=RetryPolicy(max_retries=args.retries),
-        journal_path=args.journal,
-        resume=args.resume,
-        injector=injector,
-        oracle_mode=args.oracles,
-    )
+    try:
+        config = CampaignConfig(
+            workers=args.workers,
+            task_timeout_s=args.timeout,
+            heartbeat_timeout_s=args.heartbeat_timeout,
+            retry=RetryPolicy(max_retries=args.retries),
+            journal_path=args.journal,
+            resume=args.resume,
+            injector=injector,
+            oracle_mode=args.oracles,
+            backend=args.backend,
+            lease_ttl_s=args.lease_ttl,
+        )
+    except ValueError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
     report = run_campaign(tasks, config)
     rendered = render_campaign_report(report.to_dict())
     if args.json:
@@ -493,6 +515,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="base RNG seed (task i runs with seed+i)")
     sweep.add_argument("--nx", type=int, help="thermal grid resolution")
     sweep.add_argument("--scale", type=int, help="capacity/footprint scale")
+    sweep.add_argument("--backend", default="local",
+                       metavar="{local,inproc,nodes:N}",
+                       help="executor backend: 'local' (worker pool in "
+                            "this process), 'inproc' (synchronous, "
+                            "deterministic), or 'nodes:N' (N node "
+                            "processes over a control socket; survives "
+                            "losing any one of them)")
+    sweep.add_argument("--lease-ttl", type=float, default=15.0,
+                       help="seconds a claimed task may go without its "
+                            "executor heartbeating before the lease is "
+                            "reclaimed and the work re-queued")
     sweep.add_argument("--heartbeat-timeout", type=float, default=15.0,
                        help="seconds without a worker heartbeat before "
                             "it is declared dead and killed")
@@ -508,10 +541,14 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--chaos-corrupt", type=float, default=0.0,
                        metavar="RATE",
                        help="corrupt-result probability")
-    sweep.add_argument("--chaos-force", action="append", metavar="MODE[:TASK[:N]]",
-                       help="force a worker fault: crash|hang|stall|"
-                            "corrupt-result|flip-operator, optionally for "
-                            "one task id, N times (-1 = always)")
+    sweep.add_argument("--chaos-force", action="append",
+                       metavar="MODE[:TARGET[:N]]",
+                       help="force a fault: worker modes crash|hang|stall|"
+                            "corrupt-result|flip-operator (target: task "
+                            "id) or backend modes executor-crash|"
+                            "partition|lease-stall (target: executor id) "
+                            "and duplicate-delivery (target: task id), "
+                            "N times (-1 = always)")
     sweep.add_argument("--oracles", choices=("off", "sample", "strict"),
                        default="sample",
                        help="oracle mode workers run under (default: "

@@ -23,6 +23,11 @@ to survive, so tests can prove every degradation path actually engages:
   (:mod:`repro.runner`): crash a worker process, hang it past its
   wall-clock budget, stall its heartbeat, or corrupt its result file,
   deterministically per ``(seed, task, attempt)``.
+* **Executor faults** — backend-level chaos for the lease-based
+  scheduler: crash a whole executor (node process) with claimed work,
+  partition its control socket, stall its lease renewals, or deliver a
+  task twice, so failover (lease reclaim, work stealing, duplicate-
+  completion idempotence) is provable under test.
 
 Everything is driven by one seeded :class:`random.Random`, so a given
 ``(seed, rates)`` configuration injects the identical fault sequence on
@@ -52,6 +57,16 @@ CORRUPTION_MODES = (
 #: one-shot bit flip in a cached thermal-operator array, modelling
 #: silent in-memory corruption the oracle layer must catch.
 WORKER_FAULT_MODES = ("crash", "hang", "stall", "corrupt-result", "flip-operator")
+
+#: Executor (backend-level) misbehaviors
+#: :meth:`FaultInjector.executor_fault` can direct, interpreted by the
+#: executor backends: ``executor-crash`` kills a whole executor with its
+#: claimed-and-completed work unreported; ``partition`` blackholes its
+#: control channel both ways until it heals; ``lease-stall`` stops its
+#: lease renewals while work keeps finishing.  (``duplicate-delivery``
+#: is scheduler-side — see :meth:`FaultInjector.duplicate_delivery` —
+#: because retransmitting an assignment needs no executor cooperation.)
+EXECUTOR_FAULT_MODES = ("executor-crash", "partition", "lease-stall")
 
 
 def make_raw_record(
@@ -179,6 +194,40 @@ class FaultInjector:
                 self._note(f"worker:{mode}")
                 return mode
         return None
+
+    # -- executor (backend-level) faults -------------------------------------
+
+    def executor_fault(self, executor_id: str) -> Optional[str]:
+        """Chaos directive for one executor, or None.
+
+        Consulted by a backend when it brings an executor up (the
+        ``nodes:N`` backend passes the directive on the node's command
+        line; the inproc backend simulates it).  Budgets come from
+        ``forced_failures`` with stage names ``"<mode>"`` (any
+        executor) or ``"<mode>:<executor_id>"`` (one executor), mode
+        from :data:`EXECUTOR_FAULT_MODES` — so ``{"executor-crash": 1}``
+        dooms exactly one executor per campaign, deterministically the
+        first to ask.
+        """
+        for mode in EXECUTOR_FAULT_MODES:
+            if self.should_fail(f"{mode}:{executor_id}"):
+                return mode
+            if self.should_fail(mode):
+                return mode
+        return None
+
+    def duplicate_delivery(self, task_id: str) -> bool:
+        """Should this task's assignment be delivered twice?
+
+        Scheduler-side fault: the scheduler submits the same attempt a
+        second time, modelling a retransmit on a flaky control plane.
+        Budgeted via ``forced_failures`` stage names
+        ``"duplicate-delivery"`` / ``"duplicate-delivery:<task_id>"``.
+        """
+        return (
+            self.should_fail(f"duplicate-delivery:{task_id}")
+            or self.should_fail("duplicate-delivery")
+        )
 
     # -- trace faults --------------------------------------------------------
 

@@ -1,15 +1,23 @@
 """Supervised campaign runner: crash-isolated, resumable batch execution.
 
 The paper's evaluation is a campaign of independent artifacts; this
-package runs them in subprocess workers under a supervisor with
-wall-clock timeouts, a heartbeat watchdog, bounded retry with
-deterministic jitter, and an append-only JSONL journal that makes a
-killed campaign resumable (``repro sweep --resume``).
+package runs them under a lease-based scheduler over a pluggable
+executor backend (``local`` | ``inproc`` | ``nodes:N``), with wall-clock
+timeouts, heartbeat watchdogs, bounded retry with deterministic jitter,
+and an append-only JSONL journal that makes a killed campaign resumable
+(``repro sweep --resume``) — even when the thing that was killed is one
+of the executors.
 
 * :mod:`repro.runner.tasks` — task model + glob selection/fingerprints.
 * :mod:`repro.runner.journal` — torn-line-tolerant JSONL journal.
 * :mod:`repro.runner.worker` — the subprocess entry point.
-* :mod:`repro.runner.supervisor` — the campaign loop and report.
+* :mod:`repro.runner.pool` — supervised pool of worker subprocesses.
+* :mod:`repro.runner.supervisor` — campaign config + report model.
+* :mod:`repro.runner.scheduler` — the campaign loop: queue, leases,
+  retries, journal authority, idempotent completion.
+* :mod:`repro.runner.leases` — the clock-free lease table.
+* :mod:`repro.runner.backends` — executor backends (mechanism).
+* :mod:`repro.runner.node` — node-process entry point (``nodes:N``).
 """
 
 import importlib
@@ -31,6 +39,15 @@ _EXPORTS = {
     "CampaignRunner": "supervisor",
     "RetryPolicy": "supervisor",
     "run_campaign": "supervisor",
+    "Scheduler": "scheduler",
+    "Lease": "leases",
+    "LeaseTable": "leases",
+    "WorkerPool": "pool",
+    "Assignment": "backends",
+    "BackendEvent": "backends",
+    "ExecutorBackend": "backends",
+    "make_backend": "backends",
+    "parse_backend_spec": "backends",
 }
 
 

@@ -40,6 +40,7 @@ STATUSES = (
     "timeout",       # worker exceeded the wall-clock budget and was killed
     "worker-dead",   # heartbeat stopped; worker killed by the watchdog
     "corrupt-result",  # worker's result file was unreadable garbage
+    "executor-lost",  # executor holding the lease died/stalled; reclaimed
 )
 
 PathLike = Union[str, Path]
@@ -60,8 +61,17 @@ def make_entry(
     error_type: Optional[str] = None,
     result: Optional[Dict[str, Any]] = None,
     oracles: Optional[Dict[str, Any]] = None,
+    executor: Optional[str] = None,
+    duplicate: bool = False,
 ) -> Dict[str, Any]:
-    """Build one schema-checked journal line."""
+    """Build one schema-checked journal line.
+
+    ``executor`` records which executor produced the attempt (backend
+    accounting/forensics).  ``duplicate=True`` marks an audit line for a
+    completion that arrived *after* another executor's ``ok`` already
+    won the fingerprint — journaled for the record, excluded from
+    resume (see :func:`completed_fingerprints`) and aggregation.
+    """
     if status not in STATUSES:
         raise ValueError(f"unknown journal status {status!r}; known: {STATUSES}")
     entry = {
@@ -79,6 +89,10 @@ def make_entry(
         "error_type": error_type,
         "result": result if result is not None else {},
     }
+    if executor:
+        entry["executor"] = executor
+    if duplicate:
+        entry["duplicate"] = True
     if oracles:
         entry["oracles"] = oracles
     return entry
@@ -106,6 +120,7 @@ class Journal:
             line = line.replace("\n", " ")
         if self._handle is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
+            existed = self.path.exists()
             # A run killed mid-write leaves a torn final line with no
             # newline; appending straight after it would weld this entry
             # onto the torn tail and lose BOTH (the merged line parses as
@@ -116,9 +131,29 @@ class Journal:
             self._handle = open(  # noqa: SIM115
                 self.path, "a", encoding="utf-8"
             )
+            if not existed:
+                # fsyncing the file persists its *bytes*; whether the
+                # file has a name at all lives in the directory.  A
+                # crash between create and directory flush loses the
+                # whole journal despite every per-line fsync.
+                self._fsync_dir(self.path.parent)
         self._handle.write(line + "\n")
         self._handle.flush()
         os.fsync(self._handle.fileno())
+
+    @staticmethod
+    def _fsync_dir(directory: Path) -> None:
+        """Flush a directory entry; best-effort where unsupported."""
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:
+            return  # e.g. platforms that cannot open directories
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
 
     def _repair_torn_tail(self) -> None:
         """Newline-terminate the file if its last byte is not ``\\n``."""
@@ -134,6 +169,10 @@ class Journal:
                 handle.write(b"\n")
                 handle.flush()
                 os.fsync(handle.fileno())
+                # The repair rewrote the tail; make sure the directory
+                # entry (size/metadata journaling on some filesystems)
+                # is durable too before new lines land after it.
+                self._fsync_dir(self.path.parent)
 
     def close(self) -> None:
         if self._handle is not None:
@@ -206,9 +245,14 @@ def read_journal(path: PathLike) -> Tuple[List[Dict[str, Any]], int]:
 def completed_fingerprints(
     entries: Iterable[Dict[str, Any]],
 ) -> Dict[str, Dict[str, Any]]:
-    """Map fingerprint -> latest ``ok`` entry (resume skips these)."""
+    """Map fingerprint -> winning ``ok`` entry (resume skips these).
+
+    Duplicate-completion audit lines (``duplicate: true``) never win:
+    the first journaled ``ok`` is the result of record, on resume as
+    during the live campaign.
+    """
     done: Dict[str, Dict[str, Any]] = {}
     for entry in entries:
-        if entry.get("status") == "ok":
-            done[entry["fingerprint"]] = entry
+        if entry.get("status") == "ok" and not entry.get("duplicate"):
+            done.setdefault(entry["fingerprint"], entry)
     return done

@@ -1,51 +1,32 @@
-"""Supervised campaign execution: crash-isolated workers under a watchdog.
+"""Campaign configuration and report model (policy data, no loop).
 
-The paper's evaluation is a campaign of independent artifacts (Figures
-3-11, Tables 4-5); one hung solver or OOM-killed worker must not take
-down the study.  :func:`run_campaign` therefore runs every
-:class:`~repro.runner.tasks.CampaignTask` in its own subprocess
-(``python -m repro.runner.worker``) and supervises it with:
+Historically this module *was* the campaign runner; the loop now lives
+in :mod:`repro.runner.scheduler` (task queue, lease table, retries,
+journal authority) with execution delegated to pluggable
+:mod:`repro.runner.backends`.  What remains here is the shared
+vocabulary both halves speak:
 
-* a **wall-clock timeout** per task — a worker past its budget is
-  killed, not waited on;
-* a **heartbeat watchdog** — workers touch a heartbeat file from a
-  daemon thread, so a worker that stops beating is killed as *dead*
-  long before its wall-clock budget, while a slow-but-alive worker is
-  left to finish;
-* **bounded retries** with exponential backoff and deterministic
-  jitter derived from the task fingerprint, so two campaigns over the
-  same tasks retry on the identical schedule;
-* an **append-only JSONL journal** (:mod:`repro.runner.journal`)
-  recording every attempt, so a killed campaign resumes by replaying
-  the journal and re-running only tasks without an ``ok`` entry.
+* :class:`RetryPolicy` — bounded retry with deterministic jitter.
+* :class:`CampaignConfig` — every knob of one campaign run, including
+  which backend executes it (``local`` | ``inproc`` | ``nodes:N``) and
+  the lease TTL that governs failover.
+* :class:`CampaignReport` — the degraded-but-complete summary, now with
+  per-backend accounting (executors lost, leases reclaimed, duplicate
+  completions discarded, work stolen).
 
-A campaign that ends with failures still returns a complete
-:class:`CampaignReport` — per-task status, error-taxonomy counts,
-retries used, wall clock — flagged ``degraded`` instead of raising.
+``CampaignRunner`` and :func:`run_campaign` are still importable from
+here for compatibility; they resolve lazily to the scheduler so this
+module never imports the machinery it configures.
 """
 
 from __future__ import annotations
 
-import json
-import os
 import random
-import subprocess
-import sys
-import tempfile
-import time
 from dataclasses import dataclass, field
-from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.experiments import task_fingerprint
 from repro.resilience.faults import FaultInjector
-from repro.runner.journal import (
-    Journal,
-    completed_fingerprints,
-    make_entry,
-    scan_journal,
-)
-from repro.runner.tasks import CampaignTask
 
 
 @dataclass(frozen=True)
@@ -75,7 +56,18 @@ class RetryPolicy:
 
 @dataclass
 class CampaignConfig:
-    """Knobs for one campaign run (CLI: ``repro sweep``)."""
+    """Knobs for one campaign run (CLI: ``repro sweep``).
+
+    ``backend`` picks the executor backend: ``local`` (subprocess pool),
+    ``inproc`` (synchronous, deterministic), or ``nodes:N`` (N node
+    processes over a control socket).  ``workers`` is the concurrency
+    *per executor*; a ``nodes:3`` campaign with ``workers=2`` runs up to
+    6 tasks at once.  ``lease_ttl_s`` is how long a claimed task may go
+    without its executor proving itself alive before the scheduler
+    reclaims the lease and lets a surviving executor steal the work;
+    ``lease_reclaim_budget`` bounds how many times one task may be
+    reclaimed before it is finalized as failed.
+    """
 
     workers: int = 2
     task_timeout_s: float = 300.0
@@ -89,6 +81,10 @@ class CampaignConfig:
     poll_interval_s: float = 0.02
     kill_grace_s: float = 1.0
     oracle_mode: str = "sample"
+    backend: str = "local"
+    lease_ttl_s: float = 15.0
+    lease_reclaim_budget: int = 3
+    workers_per_node: int = 0  # 0: inherit ``workers``
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -99,14 +95,26 @@ class CampaignConfig:
             raise ValueError(
                 "heartbeat_timeout_s must exceed heartbeat_every_s"
             )
+        if self.lease_ttl_s <= 0:
+            raise ValueError("lease_ttl_s must be positive")
+        if self.lease_reclaim_budget < 0:
+            raise ValueError("lease_reclaim_budget must be >= 0")
+        # Fail on a malformed backend spec at config time, not after
+        # the campaign scratch dir is already on disk.
+        from repro.runner.backends import parse_backend_spec
+
+        parse_backend_spec(self.backend)
 
 
 @dataclass
 class CampaignReport:
     """Degraded-but-complete summary of a campaign.
 
-    ``degraded`` means the campaign finished but at least one task
-    exhausted its retry budget; the per-task entries say which and why.
+    ``degraded`` means the campaign finished but something was not
+    clean: a task exhausted its retry budget, an oracle caught a
+    violation, or an executor died mid-campaign (even when surviving
+    executors stole and finished all of its work).  The per-task
+    entries and the backend accounting say which and why.
     """
 
     tasks: List[Dict[str, Any]] = field(default_factory=list)
@@ -124,6 +132,12 @@ class CampaignReport:
     stale_resume: int = 0
     oracle_checks: int = 0
     oracle_violations: int = 0
+    backend: str = "local"
+    executors_lost: int = 0
+    leases_reclaimed: int = 0
+    duplicate_completions: int = 0
+    work_stolen: int = 0
+    per_executor: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -147,23 +161,19 @@ class CampaignReport:
             "stale_resume": self.stale_resume,
             "oracle_checks": self.oracle_checks,
             "oracle_violations": self.oracle_violations,
+            "backend": self.backend,
+            "executors_lost": self.executors_lost,
+            "leases_reclaimed": self.leases_reclaimed,
+            "duplicate_completions": self.duplicate_completions,
+            "work_stolen": self.work_stolen,
+            "per_executor": {
+                executor: dict(counts)
+                for executor, counts in self.per_executor.items()
+            },
         }
 
 
-@dataclass
-class _Attempt:
-    """Runtime state of one launched worker."""
-
-    task: CampaignTask
-    attempt: int
-    proc: subprocess.Popen
-    result_path: Path
-    heartbeat_path: Path
-    started_mono: float
-    deadline_mono: float
-
-
-def _solver_meta_counts(node: Any) -> Tuple[int, int]:
+def solver_meta_counts(node: Any) -> Tuple[int, int]:
     """Count (degraded, fallback) solver-info dicts nested in a result.
 
     The thermal experiments attach ``{"residual", "method", "degraded"}``
@@ -179,347 +189,49 @@ def _solver_meta_counts(node: Any) -> Tuple[int, int]:
             if str(node.get("method", "lu")) != "lu":
                 fallback += 1
         for value in node.values():
-            d, f = _solver_meta_counts(value)
+            d, f = solver_meta_counts(value)
             degraded += d
             fallback += f
     elif isinstance(node, (list, tuple)):
         for value in node:
-            d, f = _solver_meta_counts(value)
+            d, f = solver_meta_counts(value)
             degraded += d
             fallback += f
     return degraded, fallback
 
 
-def _kill(proc: subprocess.Popen, grace_s: float) -> None:
-    """Terminate, then kill after *grace_s*; always reaps the child."""
-    if proc.poll() is not None:
-        return
-    proc.terminate()
-    try:
-        proc.wait(timeout=grace_s)
-    except subprocess.TimeoutExpired:
-        proc.kill()
-        proc.wait()
+def entry_is_stale(entry: Dict[str, Any]) -> bool:
+    """A journaled-ok line whose fingerprint belies its own inputs.
+
+    The resume index is keyed on the *stored* fingerprint, so a line
+    whose ``fingerprint`` field no longer matches a recomputation over
+    its own recorded ``(experiment_id, kwargs, seed)`` would be trusted
+    for a task it never actually ran.  Detect and re-run.
+    """
+    expected = task_fingerprint(
+        entry.get("experiment_id", ""),
+        entry.get("kwargs") or {},
+        entry.get("seed"),
+    )
+    return expected != entry.get("fingerprint")
 
 
-class CampaignRunner:
-    """Drives one campaign; see module docstring for the contract."""
-
-    def __init__(self, config: Optional[CampaignConfig] = None) -> None:
-        self.config = config or CampaignConfig()
-
-    # -- worker lifecycle ----------------------------------------------------
-
-    def _launch(self, task: CampaignTask, attempt: int,
-                scratch: Path) -> _Attempt:
-        config = self.config
-        stem = f"{task.task_id.replace(os.sep, '_')}.a{attempt}"
-        spec_path = scratch / f"{stem}.spec.json"
-        result_path = scratch / f"{stem}.result.json"
-        heartbeat_path = scratch / f"{stem}.heartbeat"
-
-        chaos = None
-        if config.injector is not None:
-            chaos = config.injector.worker_fault(task.task_id, attempt)
-        spec = dict(task.to_spec())
-        spec.update(
-            result_path=str(result_path),
-            heartbeat_path=str(heartbeat_path),
-            heartbeat_every_s=config.heartbeat_every_s,
-            chaos=chaos,
-            chaos_seed=(
-                config.injector.seed if config.injector is not None else 0
-            ),
-            oracle_mode=config.oracle_mode,
-            sys_path=[p for p in sys.path if p],
-        )
-        spec_path.write_text(json.dumps(spec), encoding="utf-8")
-        result_path.unlink(missing_ok=True)
-        heartbeat_path.touch()  # baseline mtime: launch time
-
-        env = dict(os.environ)
-        package_root = str(Path(__file__).resolve().parents[2])
-        existing = env.get("PYTHONPATH", "")
-        env["PYTHONPATH"] = (
-            package_root + (os.pathsep + existing if existing else "")
-        )
-        proc = subprocess.Popen(
-            [sys.executable, "-m", "repro.runner.worker", str(spec_path)],
-            env=env,
-            stdout=subprocess.DEVNULL,
-            stderr=subprocess.DEVNULL,
-        )
-        now = time.monotonic()
-        return _Attempt(
-            task=task,
-            attempt=attempt,
-            proc=proc,
-            result_path=result_path,
-            heartbeat_path=heartbeat_path,
-            started_mono=now,
-            deadline_mono=now + config.task_timeout_s,
-        )
-
-    def _collect_exited(self, run: _Attempt) -> Dict[str, Any]:
-        """Attempt outcome for a worker that exited on its own."""
-        returncode = run.proc.returncode
-        elapsed = time.monotonic() - run.started_mono
-        task = run.task
-        common = dict(
-            task_id=task.task_id,
-            experiment_id=task.experiment_id,
-            fingerprint=task.fingerprint,
-            seed=task.seed,
-            kwargs=task.kwargs,
-            attempt=run.attempt,
-            elapsed_s=round(elapsed, 4),
-        )
-        if not run.result_path.exists():
-            return dict(
-                common,
-                status="crash",
-                error=f"worker exited with code {returncode} "
-                      f"and produced no result",
-                error_type="WorkerCrash",
-            )
-        try:
-            payload = json.loads(run.result_path.read_text(encoding="utf-8"))
-            if not isinstance(payload, dict) or "ok" not in payload:
-                raise ValueError("result payload missing 'ok'")
-        except (ValueError, OSError) as exc:
-            return dict(
-                common,
-                status="corrupt-result",
-                error=f"unreadable worker result: {exc}",
-                error_type="CorruptResult",
-            )
-        if payload["ok"]:
-            return dict(
-                common,
-                status="ok",
-                result=payload.get("result", {}),
-                oracles=payload.get("oracles") or {},
-            )
-        return dict(
-            common,
-            status="error",
-            error=payload.get("error"),
-            error_type=payload.get("error_type") or "Exception",
-            oracles=payload.get("oracles") or {},
-        )
-
-    def _collect_killed(self, run: _Attempt, status: str,
-                        why: str) -> Dict[str, Any]:
-        _kill(run.proc, self.config.kill_grace_s)
-        task = run.task
-        return dict(
-            task_id=task.task_id,
-            experiment_id=task.experiment_id,
-            fingerprint=task.fingerprint,
-            seed=task.seed,
-            kwargs=task.kwargs,
-            attempt=run.attempt,
-            elapsed_s=round(time.monotonic() - run.started_mono, 4),
-            status=status,
-            error=why,
-            error_type="WorkerTimeout" if status == "timeout" else "WorkerDead",
-        )
-
-    def _check_running(self, run: _Attempt) -> Optional[Dict[str, Any]]:
-        """Poll one worker; an attempt-outcome dict once it is over."""
-        if run.proc.poll() is not None:
-            return self._collect_exited(run)
-        now = time.monotonic()
-        if now >= run.deadline_mono:
-            return self._collect_killed(
-                run, "timeout",
-                f"exceeded wall-clock budget of "
-                f"{self.config.task_timeout_s:g}s; killed",
-            )
-        try:
-            beat_age = time.time() - run.heartbeat_path.stat().st_mtime
-        except OSError:
-            beat_age = now - run.started_mono
-        if beat_age > self.config.heartbeat_timeout_s:
-            return self._collect_killed(
-                run, "worker-dead",
-                f"no heartbeat for {beat_age:.1f}s "
-                f"(limit {self.config.heartbeat_timeout_s:g}s); killed",
-            )
-        return None
-
-    @staticmethod
-    def _entry_is_stale(entry: Dict[str, Any]) -> bool:
-        """A journaled-ok line whose fingerprint belies its own inputs.
-
-        The resume index is keyed on the *stored* fingerprint, so a line
-        whose ``fingerprint`` field no longer matches a recomputation
-        over its own recorded ``(experiment_id, kwargs, seed)`` would be
-        trusted for a task it never actually ran.  Detect and re-run.
-        """
-        expected = task_fingerprint(
-            entry.get("experiment_id", ""),
-            entry.get("kwargs") or {},
-            entry.get("seed"),
-        )
-        return expected != entry.get("fingerprint")
-
-    # -- campaign loop -------------------------------------------------------
-
-    def run(self, tasks: Sequence[CampaignTask]) -> CampaignReport:
-        config = self.config
-        started = time.monotonic()
-        seen: set = set()
-        for task in tasks:
-            if task.task_id in seen:
-                raise ValueError(f"duplicate task id {task.task_id!r}")
-            seen.add(task.task_id)
-
-        report = CampaignReport(journal_path=str(config.journal_path))
-        resumed: Dict[str, Dict[str, Any]] = {}
-        if config.resume:
-            entries, torn, crc_failed = scan_journal(config.journal_path)
-            report.torn_journal_lines = torn
-            report.corrupt_journal_lines = crc_failed
-            resumed = completed_fingerprints(entries)
-
-        #: (task, attempt, eligible_at_monotonic) waiting to launch.
-        pending: List[Tuple[CampaignTask, int, float]] = []
-        for task in tasks:
-            done = resumed.get(task.fingerprint)
-            if done is not None and not self._entry_is_stale(done):
-                report.resumed_ok += 1
-                report.tasks.append(dict(done, status="ok", resumed=True))
-            else:
-                if done is not None:
-                    # Journaled-ok entry whose stored fingerprint does
-                    # not match its own recorded inputs: the line was
-                    # edited or corrupted after writing.  Re-run rather
-                    # than resume from untrustworthy state.
-                    report.stale_resume += 1
-                pending.append((task, 0, started))
-
-        running: List[_Attempt] = []
-        final_by_task: Dict[str, Dict[str, Any]] = {}
-        scratch_ctx = None
-        if config.scratch_dir is None:
-            scratch_ctx = tempfile.TemporaryDirectory(prefix="repro-sweep-")
-            scratch = Path(scratch_ctx.name)
-        else:
-            scratch = Path(config.scratch_dir)
-            scratch.mkdir(parents=True, exist_ok=True)
-
-        journal = Journal(config.journal_path)
-        try:
-            while pending or running:
-                now = time.monotonic()
-                pending.sort(key=lambda item: item[2])
-                while (len(running) < config.workers and pending
-                       and pending[0][2] <= now):
-                    task, attempt, _ = pending.pop(0)
-                    running.append(self._launch(task, attempt, scratch))
-
-                still_running: List[_Attempt] = []
-                for run in running:
-                    outcome = self._check_running(run)
-                    if outcome is None:
-                        still_running.append(run)
-                        continue
-                    self._record(outcome, run.task, journal, report,
-                                 pending, final_by_task)
-                running = still_running
-                if pending or running:
-                    time.sleep(config.poll_interval_s)
-        except BaseException:
-            for run in running:
-                _kill(run.proc, 0.2)
-            raise
-        finally:
-            journal.close()
-            if scratch_ctx is not None:
-                scratch_ctx.cleanup()
-
-        for task in tasks:
-            entry = final_by_task.get(task.task_id)
-            if entry is not None:
-                report.tasks.append(entry)
-        report.counts = {
-            "ok": sum(1 for t in report.tasks if t["status"] == "ok"),
-            "failed": sum(1 for t in report.tasks if t["status"] != "ok"),
-            "skipped": report.resumed_ok,
-        }
-        report.degraded = report.counts["failed"] > 0
-        for entry in report.tasks:
-            d, f = _solver_meta_counts(entry.get("result", {}))
-            report.degraded_solves += d
-            report.fallback_solves += f
-            if entry.get("resumed"):
-                # Oracle tallies belong to the run that produced them: a
-                # resumed-ok task's violations were surfaced (and its
-                # campaign degraded) back then, and its journaled result
-                # already came off the trusted reference path — they do
-                # not re-degrade this campaign.
-                continue
-            oracles = entry.get("oracles") or {}
-            report.oracle_checks += int(oracles.get("total_checks", 0))
-            report.oracle_violations += len(oracles.get("violations", []))
-        # An oracle violation means some result came off an untrusted
-        # fast path; the campaign completed but is not clean.  (Stale or
-        # CRC-failed journal lines are *not* degrading on their own —
-        # the affected tasks were re-run fresh — but stay on the report.)
-        if report.oracle_violations:
-            report.degraded = True
-        report.wall_clock_s = round(time.monotonic() - started, 4)
-        return report
-
-    def _record(
-        self,
-        outcome: Dict[str, Any],
-        task: CampaignTask,
-        journal: Journal,
-        report: CampaignReport,
-        pending: List[Tuple[CampaignTask, int, float]],
-        final_by_task: Dict[str, Dict[str, Any]],
-    ) -> None:
-        """Journal one attempt outcome; schedule a retry or finalize."""
-        config = self.config
-        failed = outcome["status"] != "ok"
-        retryable = failed and outcome["attempt"] < config.retry.max_retries
-        entry = make_entry(
-            task_id=outcome["task_id"],
-            experiment_id=outcome["experiment_id"],
-            fingerprint=outcome["fingerprint"],
-            status=outcome["status"],
-            attempt=outcome["attempt"],
-            final=not retryable,
-            seed=outcome.get("seed"),
-            kwargs=outcome.get("kwargs"),
-            elapsed_s=outcome.get("elapsed_s", 0.0),
-            error=outcome.get("error"),
-            error_type=outcome.get("error_type"),
-            result=outcome.get("result"),
-            oracles=outcome.get("oracles"),
-        )
-        journal.append(entry)
-        if failed:
-            key = (outcome.get("error_type")
-                   if outcome["status"] == "error"
-                   else outcome["status"]) or outcome["status"]
-            report.taxonomy[key] = report.taxonomy.get(key, 0) + 1
-        if retryable:
-            attempt = outcome["attempt"] + 1
-            report.retries_used += 1
-            delay = config.retry.delay_s(task.fingerprint, attempt)
-            pending.append((task, attempt, time.monotonic() + delay))
-        else:
-            final = dict(entry)
-            final["retries_used"] = outcome["attempt"]
-            final_by_task[task.task_id] = final
+#: Names resolved lazily from the scheduler for compatibility: the
+#: campaign loop moved there, but ``from repro.runner.supervisor import
+#: run_campaign`` keeps working.
+_SCHEDULER_EXPORTS = ("CampaignRunner", "Scheduler", "run_campaign")
 
 
-def run_campaign(
-    tasks: Sequence[CampaignTask],
-    config: Optional[CampaignConfig] = None,
-) -> CampaignReport:
-    """Run *tasks* under supervision; never raises for task failures."""
-    return CampaignRunner(config).run(tasks)
+def __getattr__(name: str):
+    if name in _SCHEDULER_EXPORTS:
+        import importlib
+
+        module = importlib.import_module("repro.runner.scheduler")
+        value = getattr(module, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_SCHEDULER_EXPORTS))

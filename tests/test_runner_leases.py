@@ -1,0 +1,95 @@
+"""Unit tests for the clock-free lease table.
+
+Every transition takes ``now`` as a parameter, so these tests drive the
+whole lease life cycle — claim, renew, expire, release, evict — with
+plain numbers and zero sleeps.
+"""
+
+import pytest
+
+from repro.runner.leases import LeaseTable
+
+
+def _table(ttl=10.0):
+    return LeaseTable(ttl_s=ttl)
+
+
+class TestClaim:
+    def test_claim_grants_lease_with_ttl_deadline(self):
+        table = _table(ttl=10.0)
+        lease = table.claim("fp-1", "t1", "node-0", 0, now=100.0)
+        assert lease.deadline == 110.0
+        assert lease.executor_id == "node-0"
+        assert "fp-1" in table
+        assert len(table) == 1
+
+    def test_double_claim_rejected(self):
+        table = _table()
+        table.claim("fp-1", "t1", "node-0", 0, now=0.0)
+        with pytest.raises(RuntimeError, match="already leased"):
+            table.claim("fp-1", "t1", "node-1", 1, now=1.0)
+
+    def test_invalid_ttl_rejected(self):
+        with pytest.raises(ValueError, match="ttl_s"):
+            LeaseTable(ttl_s=0.0)
+
+
+class TestRenewAndExpiry:
+    def test_renew_is_executor_scoped(self):
+        table = _table(ttl=10.0)
+        table.claim("fp-1", "t1", "node-0", 0, now=0.0)
+        table.claim("fp-2", "t2", "node-0", 0, now=0.0)
+        table.claim("fp-3", "t3", "node-1", 0, now=0.0)
+        assert table.renew("node-0", now=5.0) == 2
+        # node-0's leases pushed to 15.0; node-1's still expires at 10.0
+        expired = table.expired(now=12.0)
+        assert [lease.fingerprint for lease in expired] == ["fp-3"]
+        assert len(table) == 2
+
+    def test_expired_pops_everything_past_deadline(self):
+        table = _table(ttl=5.0)
+        table.claim("fp-1", "t1", "node-0", 0, now=0.0)
+        table.claim("fp-2", "t2", "node-1", 0, now=3.0)
+        assert table.expired(now=4.0) == []
+        gone = table.expired(now=6.0)
+        assert [lease.fingerprint for lease in gone] == ["fp-1"]
+        assert table.expired(now=9.0)[0].fingerprint == "fp-2"
+        assert len(table) == 0
+
+    def test_renewals_counted(self):
+        table = _table()
+        table.claim("fp-1", "t1", "node-0", 0, now=0.0)
+        table.renew("node-0", now=1.0)
+        table.renew("node-0", now=2.0)
+        assert table.get("fp-1").renewals == 2
+
+
+class TestReleaseAndEvict:
+    def test_release_unscoped(self):
+        table = _table()
+        table.claim("fp-1", "t1", "node-0", 0, now=0.0)
+        released = table.release("fp-1")
+        assert released.task_id == "t1"
+        assert "fp-1" not in table
+        assert table.release("fp-1") is None
+
+    def test_scoped_release_ignores_other_executor(self):
+        # A late completion from the executor that lost the lease must
+        # not evict the claim of the executor the task was re-granted to.
+        table = _table()
+        table.claim("fp-1", "t1", "node-1", 1, now=0.0)
+        assert table.release("fp-1", executor_id="node-0") is None
+        assert "fp-1" in table
+        assert table.release("fp-1", executor_id="node-1") is not None
+
+    def test_evict_executor_pops_only_its_leases(self):
+        table = _table()
+        table.claim("fp-1", "t1", "node-0", 0, now=0.0)
+        table.claim("fp-2", "t2", "node-0", 0, now=0.0)
+        table.claim("fp-3", "t3", "node-1", 0, now=0.0)
+        evicted = table.evict_executor("node-0", now=1.0)
+        assert sorted(lease.fingerprint for lease in evicted) == [
+            "fp-1", "fp-2",
+        ]
+        assert list(table.held_by("node-1"))[0].fingerprint == "fp-3"
+        assert len(table) == 1
