@@ -4,12 +4,13 @@ Derives the intra-package import graph of ``repro.*`` from the ASTs and
 enforces the layer DAG (documented in DESIGN.md):
 
     0  resilience
-    1  traces, floorplan
+    1  oracles, traces, floorplan
     2  thermal, memsim, uarch
     3  core
-    4  runner, analysis, validation, checks
-    5  cli
-    6  repro (top-level __init__), __main__
+    4  runner, analysis, validation, checks, bench
+    5  service
+    6  cli
+    7  repro (top-level __init__), __main__
 
 A module may import its own package and any package in a *strictly
 lower* layer.  Importing upward is ``RPL201``; importing sideways
@@ -48,9 +49,10 @@ DEFAULT_LAYERS: Dict[str, int] = {
     "validation": 4,
     "checks": 4,
     "bench": 4,
-    "cli": 5,
-    "__main__": 6,  # delegates to cli by design
-    "repro": 6,  # the top-level __init__ re-exports from anywhere
+    "service": 5,  # schedules campaigns; only cli may import it
+    "cli": 6,
+    "__main__": 7,  # delegates to cli by design
+    "repro": 7,  # the top-level __init__ re-exports from anywhere
 }
 
 

@@ -104,10 +104,14 @@ def _parse_chaos_force(specs: List[str]) -> dict:
     ``worker-<mode>[:<task>]`` stages.  Executor modes
     (``executor-crash``, ``partition``, ``lease-stall``) target an
     executor id, and ``duplicate-delivery`` targets a task id; those map
-    to their stage names unprefixed.
+    to their stage names unprefixed.  Service modes (``slow-client``,
+    ``request-flood``, ``corrupt-cached-result``, ``backend-partition``)
+    target a client id or task fingerprint and are unprefixed too
+    (``repro serve --chaos-force``).
     """
     from repro.resilience.faults import (
         EXECUTOR_FAULT_MODES,
+        SERVICE_FAULT_MODES,
         WORKER_FAULT_MODES,
     )
 
@@ -118,10 +122,10 @@ def _parse_chaos_force(specs: List[str]) -> dict:
         mode = parts[0]
         if mode in WORKER_FAULT_MODES:
             prefix = f"worker-{mode}"
-        elif mode in backend_modes:
+        elif mode in backend_modes or mode in SERVICE_FAULT_MODES:
             prefix = mode
         else:
-            known = WORKER_FAULT_MODES + backend_modes
+            known = WORKER_FAULT_MODES + backend_modes + SERVICE_FAULT_MODES
             raise ValueError(
                 f"unknown chaos mode {mode!r}; known: {known}"
             )
@@ -244,11 +248,102 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_verify(args: argparse.Namespace) -> int:
-    """Offline integrity check of a checkpoint or journal artifact."""
+def _verify_file(path: str) -> tuple:
+    """``(status, detail)`` for one artifact; status ok|corrupt|skipped.
+
+    The classification batch ``repro verify`` prints per file: a
+    checkpoint (sha256 envelope) or a journal (per-line CRC) that
+    proves itself is ``ok``; one that fails any check is ``corrupt``;
+    an empty file is ``skipped`` (nothing to prove either way).
+    """
     from repro.resilience.checkpoint import MAGIC, verify_checkpoint
     from repro.resilience.errors import CheckpointError
     from repro.runner.journal import scan_journal
+
+    try:
+        with open(path, "rb") as handle:
+            head = handle.read(len(MAGIC))
+    except OSError as exc:
+        return "corrupt", f"cannot read: {exc}"
+    if not head:
+        return "skipped", "empty file"
+    if head == MAGIC:
+        try:
+            summary = verify_checkpoint(path)
+        except CheckpointError as exc:
+            return "corrupt", f"checkpoint: {exc}"
+        return "ok", (
+            f"checkpoint kind={summary.get('kind')} "
+            f"nbytes={summary.get('nbytes')}"
+        )
+    entries, torn, crc_failed = scan_journal(path)
+    if crc_failed:
+        return "corrupt", (
+            f"journal: {crc_failed} CRC-failed line(s) "
+            f"({len(entries)} verifiable, {torn} torn)"
+        )
+    if not entries:
+        return "corrupt", (
+            f"journal: no verifiable entries ({torn} torn line(s))"
+        )
+    detail = f"journal: {len(entries)} verifiable entr(ies)"
+    if torn:
+        detail += f", {torn} torn line(s)"
+    return "ok", detail
+
+
+def _cmd_verify_batch(root: str) -> int:
+    """Verify every artifact under *root*; exit 1 if any is corrupt.
+
+    Quarantined artifacts (``*.quarantined``) and in-flight temporaries
+    (``*.tmp``) are reported as skipped, not corrupt: quarantine is the
+    system *working* — the file was already caught, moved aside, and
+    its fingerprint re-simulated.
+    """
+    import os
+
+    checked = {"ok": 0, "corrupt": 0, "skipped": 0}
+    corrupt_files = []
+    paths = []
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for name in sorted(filenames):
+            paths.append(os.path.join(dirpath, name))
+    for path in sorted(paths):
+        if path.endswith((".quarantined", ".tmp")):
+            status, detail = "skipped", "quarantined/temporary artifact"
+        else:
+            status, detail = _verify_file(path)
+        checked[status] += 1
+        marker = {"ok": "ok     ", "corrupt": "CORRUPT",
+                  "skipped": "skipped"}[status]
+        print(f"  {marker} {path}: {detail}")
+        if status == "corrupt":
+            corrupt_files.append(path)
+    total = sum(checked.values())
+    print(f"{root}: {total} file(s) checked, {checked['ok']} ok, "
+          f"{checked['corrupt']} corrupt, {checked['skipped']} skipped")
+    if corrupt_files:
+        print(f"verify: CORRUPT artifact(s): {corrupt_files}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Offline integrity check of checkpoint/journal artifacts.
+
+    A file argument keeps the original single-artifact report; a
+    directory argument verifies every file under it (batch mode) with a
+    per-file report and exit 1 when anything is corrupt.
+    """
+    import os
+
+    from repro.resilience.checkpoint import MAGIC, verify_checkpoint
+    from repro.resilience.errors import CheckpointError
+    from repro.runner.journal import scan_journal
+
+    if os.path.isdir(args.artifact):
+        return _cmd_verify_batch(args.artifact)
 
     try:
         with open(args.artifact, "rb") as handle:
@@ -281,6 +376,43 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         print("verify: journal holds no verifiable entries", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Boot the fault-tolerant simulation service (blocking)."""
+    from repro.resilience.faults import FaultInjector
+    from repro.service.server import ServiceConfig, run_service
+
+    injector = None
+    try:
+        forced = _parse_chaos_force(args.chaos_force or [])
+        if forced:
+            injector = FaultInjector(
+                seed=args.chaos_seed, forced_failures=forced
+            )
+        config = ServiceConfig(
+            host=args.host,
+            port=args.port,
+            data_dir=args.data_dir,
+            registry_spec=args.registry,
+            backend=args.backend,
+            workers=args.workers,
+            parallel_jobs=args.parallel_jobs,
+            job_timeout_s=args.job_timeout,
+            max_job_attempts=args.max_attempts,
+            rate_per_s=args.rate,
+            burst=args.burst,
+            queue_depth=args.queue_depth,
+            shed_watermark=args.shed_watermark,
+            breaker_threshold=args.breaker_threshold,
+            breaker_reset_s=args.breaker_reset,
+            oracle_mode=args.oracles,
+            injector=injector,
+        )
+    except ValueError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    return run_service(config)
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -557,10 +689,72 @@ def build_parser() -> argparse.ArgumentParser:
     verify = sub.add_parser(
         "verify",
         help="integrity-check a checkpoint (sha256 envelope) or journal "
-             "(per-line CRC) without applying it",
+             "(per-line CRC) without applying it; a directory argument "
+             "verifies every artifact under it",
     )
     verify.add_argument("artifact",
-                        help="checkpoint or JSONL journal file to verify")
+                        help="checkpoint or JSONL journal file to verify, "
+                             "or a directory of artifacts (batch mode: "
+                             "per-file report, exit 1 on any corrupt "
+                             "item)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the fault-tolerant simulation service: an async HTTP "
+             "job API with admission control, a circuit breaker around "
+             "the executor backend, and a verify-before-serve result "
+             "cache",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: loopback)")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="bind port (0: pick a free port and print it)")
+    serve.add_argument("--data-dir", default="service-data",
+                       help="root for the result cache, spool journals, "
+                            "and the service journal")
+    serve.add_argument("--registry",
+                       default="repro.core.experiments:REGISTRY",
+                       metavar="MODULE:ATTR",
+                       help="experiment registry the service runs from")
+    serve.add_argument("--backend", default="inproc",
+                       metavar="{local,inproc,nodes:N}",
+                       help="executor backend jobs are scheduled onto")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker concurrency inside each job's "
+                            "campaign run")
+    serve.add_argument("--parallel-jobs", type=int, default=2,
+                       help="jobs simulated concurrently")
+    serve.add_argument("--job-timeout", type=float, default=60.0,
+                       help="wall-clock budget per job run (seconds)")
+    serve.add_argument("--max-attempts", type=int, default=3,
+                       help="dispatch attempts per job after backend "
+                            "losses")
+    serve.add_argument("--rate", type=float, default=20.0,
+                       help="per-client sustained requests/second")
+    serve.add_argument("--burst", type=float, default=40.0,
+                       help="per-client burst budget (token bucket size)")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="hard capacity of the admission queue")
+    serve.add_argument("--shed-watermark", type=int, default=48,
+                       help="queue depth at which new jobs shed 503")
+    serve.add_argument("--breaker-threshold", type=int, default=3,
+                       help="consecutive backend losses that open the "
+                            "circuit breaker")
+    serve.add_argument("--breaker-reset", type=float, default=2.0,
+                       help="seconds before the open breaker half-opens "
+                            "for a probe")
+    serve.add_argument("--oracles", choices=("off", "sample", "strict"),
+                       default="sample",
+                       help="oracle mode job runs execute under")
+    serve.add_argument("--chaos-seed", type=int, default=0,
+                       help="fault-injection seed")
+    serve.add_argument("--chaos-force", action="append",
+                       metavar="MODE[:TARGET[:N]]",
+                       help="force a service fault: slow-client|"
+                            "request-flood (target: client id) or "
+                            "corrupt-cached-result|backend-partition "
+                            "(target: task fingerprint), N times "
+                            "(-1 = always)")
 
     replay = sub.add_parser(
         "replay", help="replay a trace file through the memory hierarchy"
@@ -676,6 +870,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "replay": _cmd_replay,
         "sweep": _cmd_sweep,
         "verify": _cmd_verify,
+        "serve": _cmd_serve,
         "lint": _cmd_lint,
         "bench": _cmd_bench,
     }

@@ -28,6 +28,11 @@ to survive, so tests can prove every degradation path actually engages:
   partition its control socket, stall its lease renewals, or deliver a
   task twice, so failover (lease reclaim, work stealing, duplicate-
   completion idempotence) is provable under test.
+* **Service faults** — chaos for the HTTP job service
+  (:mod:`repro.service`): slow clients, request floods, corrupted
+  cached results, and backend partitions, so admission control, the
+  circuit breaker, and the verify-before-serve path are provable end
+  to end.
 
 Everything is driven by one seeded :class:`random.Random`, so a given
 ``(seed, rates)`` configuration injects the identical fault sequence on
@@ -67,6 +72,22 @@ WORKER_FAULT_MODES = ("crash", "hang", "stall", "corrupt-result", "flip-operator
 #: is scheduler-side — see :meth:`FaultInjector.duplicate_delivery` —
 #: because retransmitting an assignment needs no executor cooperation.)
 EXECUTOR_FAULT_MODES = ("executor-crash", "partition", "lease-stall")
+
+#: Service-level misbehaviors :meth:`FaultInjector.service_fault` can
+#: direct, interpreted by :mod:`repro.service`: ``slow-client`` treats a
+#: connection as a header-dribbler (408 and close); ``request-flood``
+#: amplifies a request's rate-limit token cost so the limiter sheds
+#: deterministically under test; ``corrupt-cached-result`` flips bits in
+#: a just-stored result-cache artifact so the verify-before-serve path
+#: must quarantine and re-run it; ``backend-partition`` makes the
+#: dispatcher record a synthetic executor loss instead of submitting,
+#: driving the circuit breaker open.
+SERVICE_FAULT_MODES = (
+    "slow-client",
+    "request-flood",
+    "corrupt-cached-result",
+    "backend-partition",
+)
 
 
 def make_raw_record(
@@ -215,6 +236,27 @@ class FaultInjector:
             if self.should_fail(mode):
                 return mode
         return None
+
+    # -- service (HTTP job API) faults ----------------------------------------
+
+    def service_fault(self, mode: str, key: str = "") -> bool:
+        """Consume one forced service fault of *mode*, if any remain.
+
+        Budgets come from ``forced_failures`` with stage names
+        ``"<mode>"`` (any request/fingerprint) or ``"<mode>:<key>"``
+        (one client id or task fingerprint), mode from
+        :data:`SERVICE_FAULT_MODES` — so ``{"backend-partition": 3}``
+        partitions exactly the next three dispatches, after which the
+        service heals and the breaker's half-open probe finds it.
+        """
+        if mode not in SERVICE_FAULT_MODES:
+            raise ValueError(
+                f"unknown service fault mode {mode!r}; "
+                f"known: {SERVICE_FAULT_MODES}"
+            )
+        if key and self.should_fail(f"{mode}:{key}"):
+            return True
+        return self.should_fail(mode)
 
     def duplicate_delivery(self, task_id: str) -> bool:
         """Should this task's assignment be delivered twice?

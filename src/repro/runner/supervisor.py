@@ -144,6 +144,27 @@ class CampaignReport:
         """True when every task (fresh or resumed) ended ``ok``."""
         return not self.degraded
 
+    def backend_tallies(self) -> Dict[str, Any]:
+        """Grouped backend/lease-table accounting for this campaign.
+
+        The machine-readable block ``repro sweep --json`` emits and the
+        service ``/stats`` endpoint aggregates: executors lost mid-run,
+        leases reclaimed after missed heartbeats, tasks stolen by
+        surviving executors, and duplicate completions discarded when a
+        presumed-dead executor answered after all.
+        """
+        return {
+            "backend": self.backend,
+            "executors_lost": self.executors_lost,
+            "leases_reclaimed": self.leases_reclaimed,
+            "work_stolen": self.work_stolen,
+            "duplicates_discarded": self.duplicate_completions,
+            "per_executor": {
+                executor: dict(counts)
+                for executor, counts in self.per_executor.items()
+            },
+        }
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "tasks": list(self.tasks),
@@ -170,6 +191,7 @@ class CampaignReport:
                 executor: dict(counts)
                 for executor, counts in self.per_executor.items()
             },
+            "backend_tallies": self.backend_tallies(),
         }
 
 

@@ -1,0 +1,47 @@
+"""Fault-tolerant simulation service (``repro serve``).
+
+An asyncio, stdlib-only HTTP job API over the campaign scheduler:
+content-addressed single-flight submission, per-client rate limiting,
+bounded admission with load shedding, a circuit breaker around the
+executor backend, and a verify-before-serve result store — every
+artifact re-proves its checkpoint envelope, journal CRC, and oracle
+scoreboard on every read, and quarantined results are re-simulated
+rather than served.
+
+Layering: ``service`` sits above ``runner`` (it schedules campaigns)
+and below ``cli`` (which boots it); nothing else may import it
+(RPL201 enforces this).
+"""
+
+from repro.service.jobstore import Job, JobStore
+from repro.service.middleware import Request, Response
+from repro.service.protection import (
+    AdmissionPolicy,
+    CircuitBreaker,
+    RateLimiter,
+    TokenBucket,
+)
+from repro.service.resultcache import ResultCache, entry_unservable_reason
+from repro.service.server import (
+    ReproService,
+    ServiceConfig,
+    ServiceThread,
+    run_service,
+)
+
+__all__ = [
+    "AdmissionPolicy",
+    "CircuitBreaker",
+    "Job",
+    "JobStore",
+    "RateLimiter",
+    "ReproService",
+    "Request",
+    "Response",
+    "ResultCache",
+    "ServiceConfig",
+    "ServiceThread",
+    "TokenBucket",
+    "entry_unservable_reason",
+    "run_service",
+]

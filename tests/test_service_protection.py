@@ -1,0 +1,131 @@
+"""Unit tests for the clock-explicit overload-protection primitives.
+
+No sockets, no sleeps: every state machine takes an explicit monotonic
+``now``, so these tests drive time deterministically.
+"""
+
+import pytest
+
+from repro.service.protection import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    AdmissionPolicy,
+    CircuitBreaker,
+    RateLimiter,
+    TokenBucket,
+)
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        bucket = TokenBucket(rate=2.0, burst=3.0)
+        assert [bucket.try_take(0.0) for _ in range(3)] == [0.0, 0.0, 0.0]
+        wait = bucket.try_take(0.0)
+        assert wait == pytest.approx(0.5)  # 1 token at 2/s
+        # After the advertised wait, the request goes through.
+        assert bucket.try_take(0.0 + wait) == 0.0
+
+    def test_tokens_cap_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=2.0)
+        assert bucket.try_take(0.0) == 0.0
+        # A long idle period must not bank more than `burst`.
+        assert bucket.try_take(1000.0) == 0.0
+        assert bucket.try_take(1000.0) == 0.0
+        assert bucket.try_take(1000.0) > 0.0
+
+    def test_cost_above_one(self):
+        bucket = TokenBucket(rate=1.0, burst=10.0)
+        assert bucket.try_take(0.0, cost=10.0) == 0.0
+        assert bucket.try_take(0.0, cost=1.0) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestRateLimiter:
+    def test_per_client_isolation(self):
+        limiter = RateLimiter(rate=1.0, burst=1.0)
+        allowed, _ = limiter.check("a", 0.0)
+        assert allowed
+        allowed, retry = limiter.check("a", 0.0)
+        assert not allowed and retry > 0
+        # Client b has its own bucket.
+        allowed, _ = limiter.check("b", 0.0)
+        assert allowed
+
+    def test_lru_bound_on_client_table(self):
+        limiter = RateLimiter(rate=1.0, burst=1.0, max_clients=2)
+        for client in ("a", "b", "c", "d"):
+            limiter.check(client, 0.0)
+        assert len(limiter) == 2
+        # Evicted client restarts with a full bucket (errs in the
+        # client's favor, never unbounded memory).
+        allowed, _ = limiter.check("a", 0.0)
+        assert allowed
+
+
+class TestAdmissionPolicy:
+    def test_watermark_sheds_before_capacity(self):
+        policy = AdmissionPolicy(depth=8, watermark=4)
+        assert policy.admit(0) and policy.admit(3)
+        assert not policy.admit(4)
+        assert not policy.admit(8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(depth=0, watermark=1)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(depth=4, watermark=5)
+
+
+class TestCircuitBreaker:
+    def test_opens_at_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=3, reset_after_s=5.0)
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.1)
+        assert breaker.state == CLOSED and breaker.allow(0.2)
+        breaker.record_failure(0.2)
+        assert breaker.state == OPEN
+        assert not breaker.allow(1.0)
+        assert breaker.retry_after(1.0) == pytest.approx(4.2)
+
+    def test_success_resets_the_count(self):
+        breaker = CircuitBreaker(failure_threshold=2, reset_after_s=1.0)
+        breaker.record_failure(0.0)
+        breaker.record_success()
+        breaker.record_failure(0.1)
+        assert breaker.state == CLOSED  # never two *consecutive*
+
+    def test_half_open_single_probe_then_close(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_after_s=1.0)
+        breaker.record_failure(0.0)
+        assert breaker.state == OPEN
+        assert breaker.allow(1.5)  # the probe
+        assert breaker.state == HALF_OPEN
+        assert not breaker.allow(1.6)  # only one probe at a time
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow(1.7)
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_after_s=1.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(1.5)
+        breaker.record_failure(1.5)
+        assert breaker.state == OPEN
+        assert not breaker.allow(2.0)
+        assert breaker.retry_after(2.0) == pytest.approx(0.5)
+
+    def test_opens_counts_transitions_not_failures(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_after_s=10.0)
+        breaker.record_failure(0.0)
+        # In-flight work finishing with failures while already open
+        # must not inflate the transition counter.
+        breaker.record_failure(0.1)
+        breaker.record_failure(0.2)
+        assert breaker.opens == 1
+        assert breaker.snapshot()["state"] == OPEN
