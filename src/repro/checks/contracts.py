@@ -17,7 +17,7 @@ import re
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional
 
-from repro.checks.diagnostics import Diagnostic, PyFile
+from repro.checks.diagnostics import Diagnostic, Explanation, PyFile
 
 #: Where the experiment registry lives, package-root-relative.
 EXPERIMENTS_REL = "core/experiments.py"
@@ -188,3 +188,74 @@ def run(
         elif pf.rel == KERNELS_REL:
             out.extend(check_kernels(pf))
     return out
+
+
+EXPLANATIONS = {
+    "RPL301": Explanation(
+        code="RPL301",
+        title="experiment run callable has no docstring",
+        rationale=(
+            "Each experiment reproduces a specific artifact of the "
+            "paper; the docstring is where that claim lives, and the "
+            "docs/NOTES tooling extracts it."
+        ),
+        example="def run(**kwargs):\n    ...",
+        fix='def run(**kwargs):\n    """Reproduces Figure 4 ..."""',
+    ),
+    "RPL302": Explanation(
+        code="RPL302",
+        title="docstring does not name the paper artifact",
+        rationale=(
+            "A run docstring must cite the figure/table/section it "
+            "reproduces (e.g. 'Figure 6', 'Table 1'); otherwise the "
+            "experiment cannot be traced back to the paper."
+        ),
+        example='"""Runs the thing."""',
+        fix='"""Reproduces Table 1 (3D vs 2D pipeline) ..."""',
+    ),
+    "RPL303": Explanation(
+        code="RPL303",
+        title="run callable does not accept **kwargs",
+        rationale=(
+            "The registry dispatches sweep points as keyword "
+            "arguments; a run() without **kwargs breaks forward "
+            "compatibility when a sweep adds an axis."
+        ),
+        example="def run(spec):\n    ...",
+        fix="def run(spec=None, **kwargs):\n    ...",
+    ),
+    "RPL304": Explanation(
+        code="RPL304",
+        title="experiment id referenced by no test",
+        rationale=(
+            "Every registered experiment needs at least one test that "
+            "names it; unreferenced experiments rot silently and fail "
+            "only in full campaigns."
+        ),
+        example='REGISTRY["fig9_new"] = ...   # no test mentions fig9_new',
+        fix="Add a test that runs (or at least smoke-loads) the id.",
+    ),
+    "RPL305": Explanation(
+        code="RPL305",
+        title="trace kernel not in the Table 1 workload set",
+        rationale=(
+            "The synthetic trace kernels model the paper's Table 1 "
+            "workload mix; a kernel outside that set would make "
+            "bench results incomparable to the paper."
+        ),
+        example='KERNELS["crypto"] = ...',
+        fix="Use a Table 1 workload, or extend the set deliberately "
+            "in one reviewed change.",
+    ),
+    "RPL306": Explanation(
+        code="RPL306",
+        title="Table 1 workload missing from the registry",
+        rationale=(
+            "Coverage must be total in both directions: every Table 1 "
+            "workload needs a kernel, or the reproduction silently "
+            "shrinks the workload mix."
+        ),
+        example="# KERNELS lacks 'ammp' while Table 1 lists it",
+        fix="Add the missing kernel (or document its exclusion).",
+    ),
+}

@@ -24,7 +24,7 @@ from __future__ import annotations
 import ast
 from typing import Dict, Iterable, List, Optional, Set
 
-from repro.checks.diagnostics import Diagnostic, PyFile
+from repro.checks.diagnostics import Diagnostic, Explanation, PyFile
 
 #: Files (package-root-relative) allowed to read the wall clock.
 DEFAULT_CLOCK_ALLOWLIST = frozenset({
@@ -274,3 +274,51 @@ def run(
     for pf in files:
         out.extend(check_file(pf, allow))
     return out
+
+
+EXPLANATIONS = {
+    "RPL101": Explanation(
+        code="RPL101",
+        title="unseeded RNG construction",
+        rationale=(
+            "Every simulation result must be reproducible from its "
+            "task fingerprint, which covers the seed. An RNG built "
+            "without an explicit seed draws entropy from the OS and "
+            "silently breaks bit-identical replay."
+        ),
+        example="rng = random.Random()\nrng = np.random.default_rng()",
+        fix="rng = random.Random(seed)  # thread the task seed through",
+    ),
+    "RPL102": Explanation(
+        code="RPL102",
+        title="module-level RNG call (global state)",
+        rationale=(
+            "Calls on the process-global RNG (random.random(), "
+            "np.random.rand()) share hidden state across experiments; "
+            "run order then changes results even when every task is "
+            "seeded."
+        ),
+        example="jitter = random.random()",
+        fix=(
+            "rng = random.Random(seed)\n"
+            "jitter = rng.random()   # per-task RNG object"
+        ),
+    ),
+    "RPL103": Explanation(
+        code="RPL103",
+        title="wall-clock read outside the allowlist",
+        rationale=(
+            "Time enters the system only at its edges (supervisor, "
+            "worker, scheduler, pool, node, bench harness, service "
+            "server); everything else takes an explicit monotonic "
+            "`now`. A clock read elsewhere makes results depend on "
+            "when they ran. RPL504 is the flow-aware companion inside "
+            "the allowlisted layers."
+        ),
+        example="started = time.monotonic()   # in core/experiments.py",
+        fix=(
+            "def run(..., now: float) -> ...:  # accept now explicitly\n"
+            "# read the clock in an allowlisted edge module only"
+        ),
+    ),
+}

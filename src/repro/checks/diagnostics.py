@@ -35,7 +35,50 @@ CODES: Dict[str, tuple] = {
     "RPL401": ("physics", "Material constructed from a bare literal"),
     "RPL402": ("physics", "bare physics literal at a call site"),
     "RPL403": ("physics", "bare physics literal as a parameter default"),
+    # -- concurrency discipline (flow-sensitive) --------------------------
+    "RPL501": ("concurrency", "lease claim not discharged on every path"),
+    "RPL502": ("concurrency", "journal append on a lease-blind path"),
+    "RPL503": ("concurrency", "resource not closed on every path"),
+    "RPL504": ("concurrency", "ambient clock read beside an explicit now"),
+    # -- async/service hygiene (flow-sensitive) ---------------------------
+    "RPL601": ("async", "blocking call reachable inside async def"),
+    "RPL602": ("async", "stale jobstore record used across an await"),
+    "RPL603": ("async", "status code outside the pinned contract"),
+    "RPL604": ("async", "exception can escape a route handler"),
 }
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """The ``repro lint --explain RPL###`` payload for one rule.
+
+    Each pass module keeps an ``EXPLANATIONS`` dict next to its
+    implementation so the rationale lives with the code it documents;
+    the engine aggregates them.
+    """
+
+    code: str
+    title: str
+    rationale: str
+    example: str
+    fix: str
+
+    def render(self) -> str:
+        def indent(text: str) -> str:
+            return "\n".join(f"    {line}" for line in text.splitlines())
+
+        return "\n".join([
+            f"{self.code} — {self.title}",
+            "",
+            "why:",
+            indent(self.rationale),
+            "",
+            "example violation:",
+            indent(self.example),
+            "",
+            "fix pattern:",
+            indent(self.fix),
+        ])
 
 
 @dataclass(frozen=True, order=True)

@@ -21,7 +21,8 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.checks import contracts, determinism, layering, physics
 from repro.checks.baseline import apply_baseline, load_baseline, save_baseline
-from repro.checks.diagnostics import CODES, Diagnostic, PyFile
+from repro.checks.diagnostics import CODES, Diagnostic, Explanation, PyFile
+from repro.checks.flow import asyncsafety, concurrency
 
 #: Name of the committed baseline file, looked up at the repo root.
 BASELINE_NAME = "repro-lint-baseline.json"
@@ -29,7 +30,10 @@ BASELINE_NAME = "repro-lint-baseline.json"
 #: Sentinel: "use the committed baseline if one exists".
 AUTO_BASELINE = "auto"
 
-PASSES = ("determinism", "layering", "contracts", "physics")
+PASSES = (
+    "determinism", "layering", "contracts", "physics",
+    "concurrency", "async",
+)
 
 
 def package_root() -> Path:
@@ -133,7 +137,7 @@ def run_passes(
     files: List[PyFile],
     tests_dir: Optional[Path] = None,
 ) -> List[Diagnostic]:
-    """All four passes (plus parse-failure reporting) over parsed files."""
+    """All passes (plus parse-failure reporting) over parsed files."""
     out: List[Diagnostic] = []
     for pf in files:
         if pf.parse_error:
@@ -146,6 +150,8 @@ def run_passes(
     out.extend(layering.run(files))
     out.extend(contracts.run(files, tests_dir=tests_dir))
     out.extend(physics.run(files))
+    out.extend(concurrency.run(files))
+    out.extend(asyncsafety.run(files))
     return sorted(out)
 
 
@@ -232,8 +238,54 @@ def to_json(report: LintReport) -> Dict[str, object]:
     }
 
 
+#: Engine-owned explanations (codes with no pass module of their own).
+EXPLANATIONS = {
+    "RPL000": Explanation(
+        code="RPL000",
+        title="file does not parse",
+        rationale=(
+            "The engine analyses source ASTs without importing them; a "
+            "file that does not parse cannot be analysed by any pass, "
+            "which is itself a violation (and would crash at import "
+            "time anyway)."
+        ),
+        example="def broken(:\n    pass",
+        fix="Fix the syntax error; `python -m compileall src` shows it.",
+    ),
+}
+
+
+def explain(code: str) -> Optional[Explanation]:
+    """The :class:`Explanation` for one RPL code, if registered."""
+    code = code.strip().upper()
+    for source in (
+        EXPLANATIONS,
+        determinism.EXPLANATIONS,
+        layering.EXPLANATIONS,
+        contracts.EXPLANATIONS,
+        physics.EXPLANATIONS,
+        concurrency.EXPLANATIONS,
+        asyncsafety.EXPLANATIONS,
+    ):
+        if code in source:
+            return source[code]
+    return None
+
+
 def main(args) -> int:
     """Entry point for ``repro lint`` (argparse namespace in, exit code out)."""
+    if getattr(args, "explain", None):
+        code = args.explain.strip().upper()
+        if not code.startswith("RPL"):
+            code = f"RPL{code}"
+        explanation = explain(code)
+        if explanation is None:
+            known = ", ".join(sorted(CODES))
+            print(f"unknown code {code!r}; known codes: {known}")
+            return 2
+        print(explanation.render())
+        return 0
+
     root = Path(args.root) if getattr(args, "root", None) else package_root()
     if getattr(args, "no_baseline", False):
         baseline_path = None

@@ -1,0 +1,42 @@
+"""Flow-sensitive analysis engine for ``repro lint``.
+
+This subpackage turns the shallow, statement-local AST passes of
+``repro.checks`` into path-aware ones:
+
+* :mod:`repro.checks.flow.cfg` — a statement-level AST→CFG builder
+  covering branches, loops, ``try``/``except``/``finally``,
+  ``with``-blocks and the async constructs.
+* :mod:`repro.checks.flow.dataflow` — a small forward-dataflow
+  framework (gen/kill over a set lattice, worklist to fixpoint, may- or
+  must-meet).
+* :mod:`repro.checks.flow.summaries` — per-function summaries (import
+  aliases, blocking-call closure, escaping-raise sets) that make the
+  passes intraprocedural within one module.
+* :mod:`repro.checks.flow.concurrency` — the RPL5xx family: lease,
+  journal, resource and clock discipline over ``repro.runner``.
+* :mod:`repro.checks.flow.asyncsafety` — the RPL6xx family: blocking
+  calls in ``async def``, stale jobstore state across ``await``, the
+  pinned status-code contract, and handler exception escape, over
+  ``repro.service``.
+
+Everything here is intraprocedural with same-file summaries; the known
+false-negative boundaries are documented in DESIGN.md ("Static
+analysis").
+"""
+
+from repro.checks.flow.cfg import CFG, CFGNode, build_cfg, function_cfgs
+from repro.checks.flow.dataflow import (
+    FixpointDiverged,
+    ForwardAnalysis,
+    GenKillAnalysis,
+)
+
+__all__ = [
+    "CFG",
+    "CFGNode",
+    "build_cfg",
+    "function_cfgs",
+    "FixpointDiverged",
+    "ForwardAnalysis",
+    "GenKillAnalysis",
+]

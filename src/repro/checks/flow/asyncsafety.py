@@ -1,0 +1,615 @@
+"""RPL6xx — async/service hygiene over ``repro.service``.
+
+Four rules on the CFG/dataflow engine:
+
+* **RPL601** — no blocking call may be *reachable* inside an
+  ``async def``: ``time.sleep``, ``subprocess.run``, blocking
+  socket/file I/O, ``fsync`` — directly or through a same-file sync
+  helper (one-module transitive closure).  Flow-sensitive: code after
+  an unconditional ``return`` is dead and not reported.
+* **RPL602** — a job record fetched from the shared jobstore is
+  *stale* after any ``await``: another coroutine or executor thread
+  may have transitioned it.  Mutating the store with a stale record
+  (``mark_running`` et al.) without re-validating ``job.state`` first
+  is a lost-update bug.  May-analysis: one await-crossing path to the
+  mutation is a finding.
+* **RPL603** — the service's status-code contract is pinned
+  (200/400/404/408/429/503, never an implicit 500).  Every
+  ``Response``/``shed`` construction must carry a literal pinned
+  status (or forward a parameter whose call sites all do), and every
+  handler return path must produce a Response.
+* **RPL604** — no exception may escape a route handler: an uncaught
+  ``raise``, or a call to a same-file helper whose escaping-raise
+  summary is non-empty, would surface as the implicit 500 the
+  contract forbids.
+
+Scope: RPL601/602 run wherever ``async def`` appears; RPL603/604 are
+service-specific and run over ``service/``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.checks.diagnostics import Diagnostic, Explanation, PyFile
+from repro.checks.flow.cfg import CFGNode, FunctionCFG, function_cfgs
+from repro.checks.flow.dataflow import ForwardAnalysis
+from repro.checks.flow.summaries import (
+    ModuleSummaries,
+    blocking_target,
+    catches,
+    dotted_name,
+    walk_shallow,
+)
+
+SERVICE_PREFIX = "service/"
+
+#: The pinned status-code contract (service/middleware.py REASONS).
+ALLOWED_STATUS = frozenset({200, 400, 404, 408, 429, 503})
+
+#: JobStore methods that mutate a job record passed to them.
+JOBSTORE_MUTATORS = frozenset({
+    "mark_running", "mark_done", "mark_failed", "mark_requeued",
+    "mark_simulated", "reset_for_retry", "discard", "note_coalesced",
+})
+
+#: JobStore methods that (re-)fetch a live record.
+JOBSTORE_GETTERS = frozenset({"get", "get_or_create"})
+
+#: Functions treated as route handlers for RPL603/604.
+_HANDLER_PREFIX = "handle_"
+_HANDLER_NAMES = frozenset({"route"})
+
+
+def _is_jobstore_chain(chain: Optional[str]) -> bool:
+    if chain is None:
+        return False
+    return "jobs" in chain.split(".")
+
+
+# -- RPL601: blocking calls reachable in async defs --------------------------
+
+
+def _check_async_blocking(
+    pf: PyFile, fc: FunctionCFG, summaries: ModuleSummaries
+) -> List[Diagnostic]:
+    cfg = fc.cfg
+    reachable = cfg.reachable()
+    out: List[Diagnostic] = []
+    seen: Set[int] = set()
+    for node in cfg.stmt_nodes():
+        if node.nid not in reachable:
+            continue
+        for sub in node.walk():
+            if not isinstance(sub, ast.Call) or id(sub) in seen:
+                continue
+            seen.add(id(sub))
+            prim = blocking_target(sub, summaries.aliases)
+            if prim is not None:
+                out.append(pf.diag(
+                    sub,
+                    "RPL601",
+                    f"{fc.qualname} is async but calls blocking "
+                    f"{prim}(); use the asyncio equivalent or "
+                    f"run_in_executor",
+                ))
+                continue
+            callee = summaries.resolve_call(
+                sub, fc.cls.name if fc.cls else None
+            )
+            if callee is None:
+                continue
+            chain = summaries.blocking_chain(callee)
+            if chain is not None:
+                out.append(pf.diag(
+                    sub,
+                    "RPL601",
+                    f"{fc.qualname} is async but calls "
+                    f"{callee.split('.')[-1]}(), which blocks "
+                    f"({chain})",
+                ))
+    return out
+
+
+# -- RPL602: stale jobstore state across await -------------------------------
+
+
+def _fresh(var: str) -> Tuple[str, str]:
+    return ("fresh", var)
+
+
+def _stale(var: str) -> Tuple[str, str]:
+    return ("stale", var)
+
+
+class _StaleStateAnalysis(ForwardAnalysis):
+    """May-analysis: which job bindings have crossed an await."""
+
+    meet = "may"
+
+    def __init__(self, fc: FunctionCFG) -> None:
+        super().__init__(fc.cfg)
+        self.fc = fc
+        # Precompute per-node effects.
+        self.bindings: Dict[int, Set[str]] = {}
+        self.revalidations: Dict[int, Set[str]] = {}
+        self.uses: Dict[int, List[Tuple[ast.Call, Set[str]]]] = {}
+        self.awaits: Set[int] = set()
+        self.job_params = self._job_params()
+        for node in fc.cfg.stmt_nodes():
+            nid = node.nid
+            if node.has_await():
+                self.awaits.add(nid)
+            for sub in node.walk():
+                if isinstance(sub, ast.Assign):
+                    self._note_binding(nid, sub)
+                if (
+                    isinstance(sub, ast.Attribute)
+                    and sub.attr == "state"
+                    and isinstance(sub.value, ast.Name)
+                ):
+                    self.revalidations.setdefault(nid, set()).add(
+                        sub.value.id
+                    )
+                if isinstance(sub, ast.Call) and isinstance(
+                    sub.func, ast.Attribute
+                ):
+                    chain = dotted_name(sub.func.value)
+                    if (
+                        _is_jobstore_chain(chain)
+                        and sub.func.attr in JOBSTORE_MUTATORS
+                    ):
+                        vars_used = {
+                            a.id for a in sub.args
+                            if isinstance(a, ast.Name)
+                        }
+                        if vars_used:
+                            self.uses.setdefault(nid, []).append(
+                                (sub, vars_used)
+                            )
+
+    def _job_params(self) -> Set[str]:
+        out: Set[str] = set()
+        args = self.fc.func.args
+        for arg in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        ):
+            ann = arg.annotation
+            name = None
+            if isinstance(ann, ast.Name):
+                name = ann.id
+            elif isinstance(ann, ast.Attribute):
+                name = ann.attr
+            elif isinstance(ann, ast.Constant) and isinstance(
+                ann.value, str
+            ):
+                name = ann.value.split(".")[-1]
+            if name == "Job":
+                out.add(arg.arg)
+        return out
+
+    def _note_binding(self, nid: int, assign: ast.Assign) -> None:
+        value = assign.value
+        if not (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr in JOBSTORE_GETTERS
+            and _is_jobstore_chain(dotted_name(value.func.value))
+        ):
+            return
+        if len(assign.targets) != 1:
+            return
+        tgt = assign.targets[0]
+        if isinstance(tgt, ast.Name):
+            self.bindings.setdefault(nid, set()).add(tgt.id)
+        elif isinstance(tgt, ast.Tuple) and tgt.elts and isinstance(
+            tgt.elts[0], ast.Name
+        ):
+            # job, created = self.jobs.get_or_create(...)
+            self.bindings.setdefault(nid, set()).add(tgt.elts[0].id)
+
+    def initial(self):
+        return frozenset(_fresh(v) for v in self.job_params)
+
+    def transfer(self, node: CFGNode, facts):
+        nid = node.nid
+        out = set(facts)
+        if nid in self.awaits:
+            for kind, var in list(out):
+                if kind == "fresh":
+                    out.discard(_fresh(var))
+                    out.add(_stale(var))
+        for var in self.bindings.get(nid, ()):
+            out.discard(_stale(var))
+            out.add(_fresh(var))
+        for var in self.revalidations.get(nid, ()):
+            if _stale(var) in out:
+                out.discard(_stale(var))
+                out.add(_fresh(var))
+        return frozenset(out)
+
+
+def _check_stale_state(pf: PyFile, fc: FunctionCFG) -> List[Diagnostic]:
+    analysis = _StaleStateAnalysis(fc)
+    if not analysis.uses:
+        return []
+    in_facts, _ = analysis.solve()
+    out: List[Diagnostic] = []
+    for nid, uses in analysis.uses.items():
+        facts = in_facts[nid]
+        if facts is None:
+            continue
+        for call, vars_used in uses:
+            stale = sorted(
+                v for v in vars_used if _stale(v) in facts
+            )
+            for var in stale:
+                out.append(pf.diag(
+                    call,
+                    "RPL602",
+                    f"{fc.qualname} mutates the jobstore with "
+                    f"{var!r} fetched before an await; re-check "
+                    f"{var}.state (another coroutine may have "
+                    f"transitioned it)",
+                ))
+    return out
+
+
+# -- RPL603: pinned status-code contract -------------------------------------
+
+
+def _response_ctor_names(tree: ast.AST) -> Tuple[Set[str], Set[str]]:
+    """Local names bound to the Response class and the shed helper."""
+    responses: Set[str] = set()
+    sheds: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module and (
+            node.module.endswith("middleware")
+        ):
+            for alias in node.names:
+                local = alias.asname or alias.name
+                if alias.name == "Response":
+                    responses.add(local)
+                elif alias.name == "shed":
+                    sheds.add(local)
+        elif isinstance(node, ast.ClassDef) and node.name == "Response":
+            responses.add(node.name)
+        elif isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ) and node.name == "shed":
+            sheds.add(node.name)
+    return responses, sheds
+
+
+def _status_arg(call: ast.Call) -> Optional[ast.AST]:
+    if call.args:
+        return call.args[0]
+    for kw in call.keywords:
+        if kw.arg == "status":
+            return kw.value
+    return None
+
+
+def _check_status_contract(pf: PyFile) -> List[Diagnostic]:
+    tree = pf.tree
+    responses, sheds = _response_ctor_names(tree)
+    ctors = responses | sheds
+    if not ctors:
+        return []
+    fcs = function_cfgs(tree)
+    out: List[Diagnostic] = []
+    #: functions that forward a status parameter: name -> param name
+    forwarders: Dict[str, str] = {}
+
+    def enclosing_params(fc: FunctionCFG) -> Set[str]:
+        return set(fc.param_names())
+
+    # Pass 1: literal checks + forwarder discovery, per function.
+    for fc in fcs:
+        params = enclosing_params(fc)
+        for sub in walk_shallow(fc.func):
+            if not isinstance(sub, ast.Call):
+                continue
+            name = dotted_name(sub.func)
+            if name not in ctors:
+                continue
+            status = _status_arg(sub)
+            if status is None:
+                continue
+            if isinstance(status, ast.Constant) and isinstance(
+                status.value, int
+            ):
+                if status.value not in ALLOWED_STATUS:
+                    allowed = ", ".join(
+                        str(s) for s in sorted(ALLOWED_STATUS)
+                    )
+                    out.append(pf.diag(
+                        sub,
+                        "RPL603",
+                        f"{fc.qualname} builds a response with status "
+                        f"{status.value}, outside the pinned contract "
+                        f"({allowed})",
+                    ))
+            elif isinstance(status, ast.Name) and status.id in params:
+                forwarders[fc.func.name] = status.id
+            else:
+                out.append(pf.diag(
+                    sub,
+                    "RPL603",
+                    f"{fc.qualname} builds a response whose status is "
+                    f"not a literal pinned code (cannot be proven "
+                    f"against the contract)",
+                ))
+
+    # Pass 2: call sites of forwarders must pass literal pinned codes.
+    for fc in fcs:
+        for sub in walk_shallow(fc.func):
+            if not isinstance(sub, ast.Call):
+                continue
+            name = dotted_name(sub.func)
+            if name not in forwarders or name in ctors:
+                continue
+            status = _status_arg(sub)
+            if status is None:
+                continue
+            if isinstance(status, ast.Constant) and isinstance(
+                status.value, int
+            ):
+                if status.value not in ALLOWED_STATUS:
+                    out.append(pf.diag(
+                        sub,
+                        "RPL603",
+                        f"{fc.qualname} calls {name}() with status "
+                        f"{status.value}, outside the pinned contract",
+                    ))
+            else:
+                out.append(pf.diag(
+                    sub,
+                    "RPL603",
+                    f"{fc.qualname} calls {name}() with a non-literal "
+                    f"status (cannot be proven against the contract)",
+                ))
+
+    # Pass 3: handler return paths must produce a Response.
+    producer_names = set(ctors)
+    for fc in fcs:
+        if _is_handler(fc) or _returns_response(fc, producer_names):
+            producer_names.add(fc.func.name)
+    for fc in fcs:
+        if not _is_handler(fc):
+            continue
+        out.extend(_check_handler_returns(pf, fc, producer_names))
+    return out
+
+
+def _is_handler(fc: FunctionCFG) -> bool:
+    name = fc.func.name
+    return name.startswith(_HANDLER_PREFIX) or name in _HANDLER_NAMES
+
+
+def _returns_response(fc: FunctionCFG, producers: Set[str]) -> bool:
+    for sub in walk_shallow(fc.func):
+        if isinstance(sub, ast.Return) and isinstance(
+            sub.value, ast.Call
+        ):
+            name = dotted_name(sub.value.func)
+            if name in producers:
+                return True
+    return False
+
+
+def _check_handler_returns(
+    pf: PyFile, fc: FunctionCFG, producers: Set[str]
+) -> List[Diagnostic]:
+    # Names assigned from producer calls anywhere in the function are
+    # response-like (flow-insensitive, deliberately permissive).
+    response_names: Set[str] = set()
+    for sub in walk_shallow(fc.func):
+        if (
+            isinstance(sub, ast.Assign)
+            and len(sub.targets) == 1
+            and isinstance(sub.targets[0], ast.Name)
+            and isinstance(sub.value, ast.Call)
+        ):
+            name = dotted_name(sub.value.func)
+            if name in producers:
+                response_names.add(sub.targets[0].id)
+    out: List[Diagnostic] = []
+    for sub in walk_shallow(fc.func):
+        if not isinstance(sub, ast.Return):
+            continue
+        value = sub.value
+        ok = False
+        if isinstance(value, ast.Call):
+            name = dotted_name(value.func)
+            ok = name in producers
+        elif isinstance(value, ast.Name):
+            ok = value.id in response_names
+        if not ok:
+            out.append(pf.diag(
+                sub,
+                "RPL603",
+                f"{fc.qualname} has a return path that does not "
+                f"produce a Response with a pinned status code",
+            ))
+    return out
+
+
+# -- RPL604: exceptions escaping handlers ------------------------------------
+
+
+def _check_handler_raises(
+    pf: PyFile, summaries: ModuleSummaries
+) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for qual, info in summaries.functions.items():
+        name = qual.split(".")[-1]
+        if not (
+            name.startswith(_HANDLER_PREFIX) or name in _HANDLER_NAMES
+        ):
+            continue
+        # Direct raises that no lexically-enclosing handler catches
+        # are found by the summary itself …
+        for exc in sorted(info.escapes & _direct_raises(info)):
+            out.append(pf.diag(
+                info.node,
+                "RPL604",
+                f"{qual} can raise {exc} out of the handler; the "
+                f"client would see an implicit 500, which the "
+                f"contract forbids",
+            ))
+        # … and calls to same-file helpers whose summary escapes.
+        for call, callee, catchers in info.calls:
+            callee_info = summaries.functions[callee]
+            escaping = sorted(
+                exc for exc in callee_info.escapes
+                if not catches(catchers, exc)
+            )
+            if escaping:
+                out.append(pf.diag(
+                    call,
+                    "RPL604",
+                    f"{qual} calls {callee.split('.')[-1]}(), which "
+                    f"can raise {', '.join(escaping)} out of the "
+                    f"handler (implicit 500)",
+                ))
+    return out
+
+
+def _direct_raises(info) -> Set[str]:
+    out: Set[str] = set()
+    for sub in walk_shallow(info.node):
+        if isinstance(sub, ast.Raise):
+            out.add(ModuleSummaries._raise_name(sub))
+    return out
+
+
+# -- pass entry point --------------------------------------------------------
+
+
+def check_file(pf: PyFile) -> List[Diagnostic]:
+    if pf.tree is None:
+        return []
+    out: List[Diagnostic] = []
+    fcs = function_cfgs(pf.tree)
+    has_async = any(fc.is_async for fc in fcs)
+    summaries = (
+        ModuleSummaries(pf.tree)
+        if has_async or pf.rel.startswith(SERVICE_PREFIX)
+        else None
+    )
+    for fc in fcs:
+        if not fc.is_async:
+            continue
+        out.extend(_check_async_blocking(pf, fc, summaries))
+        out.extend(_check_stale_state(pf, fc))
+    if pf.rel.startswith(SERVICE_PREFIX):
+        out.extend(_check_status_contract(pf))
+        out.extend(_check_handler_raises(pf, summaries))
+    return out
+
+
+def run(files: List[PyFile]) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for pf in files:
+        if pf.parse_error:
+            continue
+        out.extend(check_file(pf))
+    return out
+
+
+EXPLANATIONS = {
+    "RPL601": Explanation(
+        code="RPL601",
+        title="blocking call reachable inside async def",
+        rationale=(
+            "The service runs every handler and dispatcher coroutine "
+            "on one event loop; a single time.sleep, subprocess.run "
+            "or synchronous file/socket call freezes every in-flight "
+            "request for its full duration. The check walks the "
+            "coroutine's CFG (so dead code is ignored) and follows "
+            "same-file sync helpers one module deep."
+        ),
+        example=(
+            "async def _process(self, fp):\n"
+            "    time.sleep(0.2)            # stalls the event loop\n"
+            "    data = helper()            # helper calls fsync"
+        ),
+        fix=(
+            "async def _process(self, fp):\n"
+            "    await asyncio.sleep(0.2)\n"
+            "    data = await loop.run_in_executor(pool, helper)"
+        ),
+    ),
+    "RPL602": Explanation(
+        code="RPL602",
+        title="stale jobstore record used across an await",
+        rationale=(
+            "An await is a scheduling point: executor threads and "
+            "other coroutines mutate the shared jobstore while this "
+            "coroutine is parked. A Job fetched before the await may "
+            "be requeued, failed or completed by the time control "
+            "returns; calling mark_running/mark_done/mark_failed with "
+            "it anyway overwrites that transition (a lost update). "
+            "Re-reading job.state after the await re-validates the "
+            "record."
+        ),
+        example=(
+            "job = self.jobs.get(fp)\n"
+            "await asyncio.sleep(backoff)\n"
+            "self.jobs.mark_running(job)    # job may be gone already"
+        ),
+        fix=(
+            "job = self.jobs.get(fp)\n"
+            "await asyncio.sleep(backoff)\n"
+            "if job.state != QUEUED:\n"
+            "    return                      # someone else moved it\n"
+            "self.jobs.mark_running(job)"
+        ),
+    ),
+    "RPL603": Explanation(
+        code="RPL603",
+        title="status code outside the pinned contract",
+        rationale=(
+            "The chaos acceptance test pins the service to "
+            "200/400/404/408/429/503 — clients build retry logic on "
+            "exactly those codes. Every Response/shed construction "
+            "must therefore carry a literal pinned status (or forward "
+            "a parameter that provably does), and every handler "
+            "return path must produce a Response; anything else can "
+            "leak an unvetted code to the wire."
+        ),
+        example=(
+            "return Response(500, {'error': msg})   # 500 is banned\n"
+            "return {'ok': True}                    # not a Response"
+        ),
+        fix=(
+            "return shed(503, why, retry_after_s)   # a pinned code\n"
+            "return Response(200, payload)"
+        ),
+    ),
+    "RPL604": Explanation(
+        code="RPL604",
+        title="exception can escape a route handler",
+        rationale=(
+            "An exception that escapes a handler surfaces as the "
+            "implicit 500 the contract forbids (the asyncio transport "
+            "would also log-and-drop mid-write). Handlers must absorb "
+            "every exception they or their same-file helpers can "
+            "raise and convert it to a pinned-status Response."
+        ),
+        example=(
+            "def handle_submit(app, request, now):\n"
+            "    sub = _parse_submission(app, request)  # raises "
+            "ValueError"
+        ),
+        fix=(
+            "def handle_submit(app, request, now):\n"
+            "    try:\n"
+            "        sub = _parse_submission(app, request)\n"
+            "    except ValueError as exc:\n"
+            "        return Response(400, {'error': str(exc)})"
+        ),
+    ),
+}

@@ -1,0 +1,660 @@
+"""RPL5xx — flow-sensitive concurrency discipline over ``repro.runner``.
+
+Four rules, all built on the CFG/dataflow engine in this package:
+
+* **RPL501** — every ``LeaseTable.claim`` must be discharged on every
+  path out of the claiming function: released/renewed/evicted on the
+  same table, or the table/custody handed off (returned, stored on an
+  attribute, passed to another callee).  A claim on ``self.<table>``
+  shifts the obligation to the class: some method of the class must
+  discharge leases on that table.
+* **RPL502** — in a class that owns both a journal and a lease table,
+  a journal append is only trustworthy if *every* path from function
+  entry to the append interacts with the lease table first (or the
+  function receives a lease explicitly).  This is a must-analysis: a
+  single lease-blind path to an append is a finding.
+* **RPL503** — subprocess/socket/file resources created in runner code
+  must be closed on every path, handed off, or managed by a ``with``
+  block.  A resource stored on ``self`` must be closed by some method
+  of the same class.
+* **RPL504** — a function that takes an explicit monotonic ``now``
+  (or ``deadline``) parameter must not also read the ambient clock;
+  mixing the two silently breaks replayability.  This is the
+  flow-aware companion to RPL103's call-site allowlist.
+
+Scope: RPL501–503 run over ``runner/``; RPL504 over ``runner/`` and
+``service/`` (the layers that thread explicit time).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.checks.diagnostics import Diagnostic, Explanation, PyFile
+from repro.checks.flow.cfg import CFGNode, FunctionCFG, function_cfgs
+from repro.checks.flow.dataflow import (
+    ForwardAnalysis,
+    GenKillAnalysis,
+)
+from repro.checks.flow.summaries import (
+    Aliases,
+    call_target,
+    dotted_name,
+)
+
+#: Files the lease/journal/resource rules apply to.
+RUNNER_PREFIX = "runner/"
+#: Files the explicit-now rule applies to.
+CLOCK_PREFIXES = ("runner/", "service/")
+
+#: Method names that discharge a lease obligation on a table.
+LEASE_DISCHARGE = frozenset({
+    "release", "renew", "evict_executor", "expired", "pop", "clear",
+})
+
+#: Constructors whose results carry a close obligation.
+RESOURCE_CREATORS = frozenset({
+    "subprocess.Popen",
+    "socket.socket",
+    "socket.create_connection",
+    "os.fdopen",
+    "os.open",
+    "open",
+    "io.open",
+})
+
+#: Method names that discharge a resource obligation.
+RESOURCE_DISCHARGE = frozenset({
+    "close", "kill", "terminate", "cleanup", "shutdown", "stop",
+    "kill_all", "release", "detach",
+})
+
+#: Parameter names that mean "time is threaded explicitly here".
+CLOCK_PARAMS = frozenset({"now", "deadline", "now_mono", "now_s"})
+
+#: Ambient clock reads (canonical dotted names, alias-resolved).
+AMBIENT_CLOCKS = frozenset({
+    "time.time",
+    "time.monotonic",
+    "time.perf_counter",
+    "time.monotonic_ns",
+    "time.perf_counter_ns",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+})
+
+
+def _chain_of(expr: ast.AST) -> Optional[str]:
+    return dotted_name(expr)
+
+
+def _is_lease_chain(chain: str, lease_locals: Set[str]) -> bool:
+    if chain in lease_locals:
+        return True
+    last = chain.split(".")[-1]
+    return "lease" in last.lower()
+
+
+def _lease_locals(func: ast.AST) -> Set[str]:
+    """Local names assigned from a ``LeaseTable(...)`` constructor."""
+    out: Set[str] = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Call)
+        ):
+            target = _chain_of(node.value.func)
+            if target is not None and target.split(".")[-1] == "LeaseTable":
+                out.add(node.targets[0].id)
+    return out
+
+
+def _mentions_lease(node: CFGNode, lease_locals: Set[str]) -> bool:
+    """Any dotted chain in this statement that names a lease table."""
+    for sub in node.walk():
+        if isinstance(sub, (ast.Attribute, ast.Name)):
+            chain = _chain_of(sub)
+            if chain is not None and _is_lease_chain(chain, lease_locals):
+                return True
+    return False
+
+
+def _escapes_var(node: CFGNode, var: str) -> bool:
+    """Does this statement hand custody of ``var`` to someone else?
+
+    Returning it, yielding it, storing it anywhere (attribute,
+    subscript, re-binding), or passing it as a call *argument* (not
+    just as a method receiver) all transfer the close obligation.
+    """
+    for sub in node.walk():
+        if isinstance(sub, (ast.Return, ast.Yield, ast.YieldFrom)):
+            value = sub.value
+            if value is not None and _contains_name(value, var):
+                return True
+        if isinstance(sub, ast.Assign):
+            if _contains_name(sub.value, var):
+                return True
+        if isinstance(sub, ast.Call):
+            args: List[ast.AST] = list(sub.args)
+            args += [kw.value for kw in sub.keywords]
+            for arg in args:
+                if _contains_name(arg, var):
+                    return True
+    return False
+
+
+def _contains_name(tree: ast.AST, var: str) -> bool:
+    return any(
+        isinstance(n, ast.Name) and n.id == var for n in ast.walk(tree)
+    )
+
+
+def _discharges(node: CFGNode, chain: str, methods: frozenset) -> bool:
+    """A ``<chain>.<method>(...)`` call with method in ``methods``."""
+    for sub in node.walk():
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr in methods
+        ):
+            recv = _chain_of(sub.func.value)
+            if recv == chain or (
+                recv is not None and recv.startswith(chain + ".")
+            ):
+                return True
+    return False
+
+
+def _class_discharges(
+    cls: ast.ClassDef, chain: str, methods: frozenset
+) -> bool:
+    """Does any code in the class discharge obligations on ``chain``?"""
+    for node in ast.walk(cls):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in methods
+        ):
+            recv = _chain_of(node.func.value)
+            if recv == chain or (
+                recv is not None and recv.startswith(chain + ".")
+            ):
+                return True
+    return False
+
+
+# -- RPL501: lease claims ----------------------------------------------------
+
+
+class _LeaseLeakAnalysis(GenKillAnalysis):
+    """May-analysis: which claimed tables are still undischarged."""
+
+    meet = "may"
+
+    def __init__(self, fc: FunctionCFG, lease_locals: Set[str]) -> None:
+        super().__init__(fc.cfg)
+        self.lease_locals = lease_locals
+        self.claims: Dict[str, CFGNode] = {}
+        #: chain -> local name the claim result is bound to (if any);
+        #: returning/passing that value transfers custody to the caller.
+        self.bound: Dict[str, str] = {}
+        for node in fc.cfg.stmt_nodes():
+            for sub in node.walk():
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == "claim"
+                ):
+                    chain = _chain_of(sub.func.value)
+                    if chain and _is_lease_chain(chain, lease_locals):
+                        self.claims.setdefault(chain, node)
+                        stmt = node.stmt
+                        if (
+                            isinstance(stmt, ast.Assign)
+                            and len(stmt.targets) == 1
+                            and isinstance(stmt.targets[0], ast.Name)
+                        ):
+                            self.bound.setdefault(
+                                chain, stmt.targets[0].id
+                            )
+
+    def gen(self, node: CFGNode):
+        out = set()
+        for chain in self.claims:
+            for sub in node.walk():
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == "claim"
+                    and _chain_of(sub.func.value) == chain
+                ):
+                    out.add(chain)
+        return frozenset(out)
+
+    def kill(self, node: CFGNode):
+        out = set()
+        for chain in self.claims:
+            if _discharges(node, chain, LEASE_DISCHARGE):
+                out.add(chain)
+                continue
+            root = chain.split(".")[0]
+            if root != "self" and _escapes_var(node, root):
+                out.add(chain)
+                continue
+            bound = self.bound.get(chain)
+            if (
+                bound is not None
+                and node is not self.claims[chain]
+                and _escapes_var(node, bound)
+            ):
+                out.add(chain)
+        return frozenset(out)
+
+
+def _check_leases(pf: PyFile, fc: FunctionCFG) -> List[Diagnostic]:
+    lease_locals = _lease_locals(fc.func)
+    analysis = _LeaseLeakAnalysis(fc, lease_locals)
+    if not analysis.claims:
+        return []
+    out: List[Diagnostic] = []
+    self_chains = [c for c in analysis.claims if c.startswith("self.")]
+    local_chains = {
+        c: n for c, n in analysis.claims.items()
+        if not c.startswith("self.")
+    }
+    for chain in self_chains:
+        # Custody belongs to the class: some method must discharge.
+        if fc.cls is None or not _class_discharges(
+            fc.cls, chain, LEASE_DISCHARGE
+        ):
+            node = analysis.claims[chain]
+            out.append(pf.diag(
+                node.stmt,
+                "RPL501",
+                f"{fc.qualname} claims leases on {chain} but no method "
+                f"of the class ever releases, renews or evicts them",
+            ))
+    if local_chains:
+        in_facts, _out_facts = analysis.solve()
+        leaked = in_facts[fc.cfg.exit] or frozenset()
+        for chain in sorted(c for c in leaked if c in local_chains):
+            node = local_chains[chain]
+            out.append(pf.diag(
+                node.stmt,
+                "RPL501",
+                f"{fc.qualname} claims a lease on {chain} that is not "
+                f"released, renewed or evicted on every path out of "
+                f"the function (exception paths included)",
+            ))
+    return out
+
+
+# -- RPL502: journal appends under lease custody -----------------------------
+
+
+def _class_custody_attrs(
+    cls: ast.ClassDef,
+) -> Tuple[Set[str], Set[str]]:
+    """``(journal_chains, lease_chains)`` owned by this class."""
+    journals: Set[str] = set()
+    leases: Set[str] = set()
+    for node in ast.walk(cls):
+        if not (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Attribute)
+        ):
+            continue
+        chain = _chain_of(node.targets[0])
+        if chain is None or not chain.startswith("self."):
+            continue
+        attr = chain.split(".")[-1].lower()
+        ctor = ""
+        if isinstance(node.value, ast.Call):
+            ctor = (_chain_of(node.value.func) or "").split(".")[-1]
+        if "journal" in attr or ctor == "Journal":
+            journals.add(chain)
+        if "lease" in attr or ctor == "LeaseTable":
+            leases.add(chain)
+    return journals, leases
+
+
+class _LeaseCustodyAnalysis(ForwardAnalysis):
+    """Must-analysis: has every path touched the lease table yet?"""
+
+    meet = "must"
+    FACT = "lease-custody"
+
+    def __init__(
+        self, fc: FunctionCFG, lease_locals: Set[str], seeded: bool
+    ) -> None:
+        super().__init__(fc.cfg)
+        self.lease_locals = lease_locals
+        self.seeded = seeded
+
+    def initial(self):
+        return frozenset({self.FACT}) if self.seeded else frozenset()
+
+    def transfer(self, node: CFGNode, facts):
+        if _mentions_lease(node, self.lease_locals):
+            return facts | {self.FACT}
+        return facts
+
+
+def _check_journal_discipline(
+    pf: PyFile, fcs: List[FunctionCFG]
+) -> List[Diagnostic]:
+    by_class: Dict[str, List[FunctionCFG]] = {}
+    classes: Dict[str, ast.ClassDef] = {}
+    for fc in fcs:
+        if fc.cls is not None:
+            by_class.setdefault(fc.cls.name, []).append(fc)
+            classes[fc.cls.name] = fc.cls
+    out: List[Diagnostic] = []
+    for cls_name, members in by_class.items():
+        journals, leases = _class_custody_attrs(classes[cls_name])
+        if not journals or not leases:
+            continue  # journal-only (or lease-only) classes are exempt
+        for fc in members:
+            out.extend(_check_journal_fn(pf, fc, journals))
+    return out
+
+
+def _check_journal_fn(
+    pf: PyFile, fc: FunctionCFG, journals: Set[str]
+) -> List[Diagnostic]:
+    append_nodes: List[CFGNode] = []
+    for node in fc.cfg.stmt_nodes():
+        for sub in node.walk():
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == "append"
+            ):
+                recv = _chain_of(sub.func.value)
+                if recv in journals:
+                    append_nodes.append(node)
+                    break
+    if not append_nodes:
+        return []
+    lease_locals = _lease_locals(fc.func)
+    seeded = any(
+        "lease" in name.lower() for name in fc.param_names()
+    )
+    analysis = _LeaseCustodyAnalysis(fc, lease_locals, seeded)
+    in_facts, _ = analysis.solve()
+    out: List[Diagnostic] = []
+    for node in append_nodes:
+        facts = in_facts[node.nid]
+        if facts is None:
+            continue  # unreachable
+        if _LeaseCustodyAnalysis.FACT not in facts and not (
+            _mentions_lease(node, lease_locals)
+        ):
+            out.append(pf.diag(
+                node.stmt,
+                "RPL502",
+                f"{fc.qualname} appends to the journal on a path that "
+                f"never touched the lease table; journal lines must "
+                f"reflect lease-held work",
+            ))
+    return out
+
+
+# -- RPL503: resource close discipline ---------------------------------------
+
+
+class _ResourceLeakAnalysis(GenKillAnalysis):
+    """May-analysis over locally-created, unclosed resources."""
+
+    meet = "may"
+
+    def __init__(
+        self, fc: FunctionCFG, aliases: Aliases
+    ) -> None:
+        super().__init__(fc.cfg)
+        self.creations: Dict[str, Tuple[CFGNode, str]] = {}
+        self.attr_creations: List[Tuple[CFGNode, str, str]] = []
+        self.bare_creations: List[Tuple[CFGNode, str]] = []
+        for node in fc.cfg.stmt_nodes():
+            if node.kind == "with":
+                continue  # `with open(...)` manages its own close
+            stmt = node.stmt
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.value, ast.Call)
+            ):
+                target = call_target(stmt.value, aliases)
+                if target not in RESOURCE_CREATORS:
+                    continue
+                tgt = stmt.targets[0]
+                if isinstance(tgt, ast.Name):
+                    self.creations.setdefault(tgt.id, (node, target))
+                elif isinstance(tgt, ast.Attribute):
+                    chain = _chain_of(tgt)
+                    if chain is not None and chain.startswith("self."):
+                        self.attr_creations.append((node, chain, target))
+            elif isinstance(stmt, ast.Expr) and isinstance(
+                stmt.value, ast.Call
+            ):
+                target = call_target(stmt.value, aliases)
+                if target in RESOURCE_CREATORS:
+                    self.bare_creations.append((node, target))
+
+    def gen(self, node: CFGNode):
+        return frozenset(
+            var for var, (n, _t) in self.creations.items()
+            if n.nid == node.nid
+        )
+
+    def kill(self, node: CFGNode):
+        out = set()
+        for var in self.creations:
+            if _discharges(node, var, RESOURCE_DISCHARGE):
+                out.add(var)
+            elif _escapes_var(node, var):
+                out.add(var)
+        return frozenset(out)
+
+
+def _check_resources(
+    pf: PyFile, fc: FunctionCFG, aliases: Aliases
+) -> List[Diagnostic]:
+    analysis = _ResourceLeakAnalysis(fc, aliases)
+    out: List[Diagnostic] = []
+    for node, chain, target in analysis.attr_creations:
+        if fc.cls is None or not _class_discharges(
+            fc.cls, chain, RESOURCE_DISCHARGE
+        ):
+            out.append(pf.diag(
+                node.stmt,
+                "RPL503",
+                f"{fc.qualname} stores a {target} handle on {chain} "
+                f"but no method of the class ever closes it",
+            ))
+    for node, target in analysis.bare_creations:
+        out.append(pf.diag(
+            node.stmt,
+            "RPL503",
+            f"{fc.qualname} discards the {target} handle it creates; "
+            f"nothing can ever close it",
+        ))
+    if analysis.creations:
+        in_facts, _ = analysis.solve()
+        leaked = in_facts[fc.cfg.exit] or frozenset()
+        for var in sorted(leaked):
+            node, target = analysis.creations[var]
+            out.append(pf.diag(
+                node.stmt,
+                "RPL503",
+                f"{fc.qualname} opens {target} as {var!r} but does not "
+                f"close it on every path out of the function",
+            ))
+    return out
+
+
+# -- RPL504: explicit now vs ambient clock -----------------------------------
+
+
+def _check_clock(
+    pf: PyFile, fc: FunctionCFG, aliases: Aliases
+) -> List[Diagnostic]:
+    if not (set(fc.param_names()) & CLOCK_PARAMS):
+        return []
+    out: List[Diagnostic] = []
+    for node in fc.cfg.stmt_nodes():
+        for sub in node.walk():
+            if isinstance(sub, ast.Call):
+                target = call_target(sub, aliases)
+                if target in AMBIENT_CLOCKS:
+                    out.append(pf.diag(
+                        sub,
+                        "RPL504",
+                        f"{fc.qualname} takes an explicit clock "
+                        f"parameter yet reads {target}(); thread the "
+                        f"parameter instead",
+                    ))
+    return out
+
+
+# -- pass entry point --------------------------------------------------------
+
+
+def check_file(pf: PyFile) -> List[Diagnostic]:
+    if pf.tree is None:
+        return []
+    aliases = Aliases.collect(pf.tree)
+    fcs = function_cfgs(pf.tree)
+    out: List[Diagnostic] = []
+    in_runner = pf.rel.startswith(RUNNER_PREFIX)
+    in_clock_scope = pf.rel.startswith(CLOCK_PREFIXES)
+    for fc in fcs:
+        if in_runner:
+            out.extend(_check_leases(pf, fc))
+            out.extend(_check_resources(pf, fc, aliases))
+        if in_clock_scope:
+            out.extend(_check_clock(pf, fc, aliases))
+    if in_runner:
+        out.extend(_check_journal_discipline(pf, fcs))
+    return out
+
+
+def run(files: List[PyFile]) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for pf in files:
+        if pf.parse_error:
+            continue
+        out.extend(check_file(pf))
+    return out
+
+
+EXPLANATIONS = {
+    "RPL501": Explanation(
+        code="RPL501",
+        title="lease claim leaks on some path",
+        rationale=(
+            "A LeaseTable.claim grants exclusive custody of a "
+            "fingerprint. If an exception (or an early return) skips "
+            "the matching release/renew/evict, the fingerprint stays "
+            "leased forever and the scheduler deadlocks on re-dispatch. "
+            "The check walks every CFG path, including exception "
+            "edges, and reports claims that any path leaves "
+            "undischarged."
+        ),
+        example=(
+            "lease = table.claim(fp, task_id, ex_id, 1, now)\n"
+            "risky()              # raises -> release never runs\n"
+            "table.release(fp)"
+        ),
+        fix=(
+            "lease = table.claim(fp, task_id, ex_id, 1, now)\n"
+            "try:\n"
+            "    risky()\n"
+            "finally:\n"
+            "    table.release(fp)\n"
+            "# or hand the table off (return / self.attr / call arg);\n"
+            "# claims on self.<table> need a release somewhere in the "
+            "class."
+        ),
+    ),
+    "RPL502": Explanation(
+        code="RPL502",
+        title="journal append on a lease-blind path",
+        rationale=(
+            "In a class that owns both a journal and a lease table, a "
+            "journal line asserts 'this outcome belongs to lease-held "
+            "work'. A code path that reaches the append without ever "
+            "touching the lease table can journal a stale or duplicate "
+            "outcome (e.g. after the lease was re-claimed by another "
+            "executor). Must-analysis: every path to the append has to "
+            "interact with the table first."
+        ),
+        example=(
+            "if fingerprint in self._completed:\n"
+            "    self._journal.append(dup_line)   # lease never checked\n"
+            "    self._leases.release(fingerprint)"
+        ),
+        fix=(
+            "if fingerprint in self._completed:\n"
+            "    self._leases.release(fingerprint, executor_id)\n"
+            "    self._journal.append(dup_line)\n"
+            "# touch (release/renew/lookup) the lease table before\n"
+            "# journalling, or take the lease as a parameter."
+        ),
+    ),
+    "RPL503": Explanation(
+        code="RPL503",
+        title="resource not closed on every path",
+        rationale=(
+            "Sockets, subprocesses and file handles opened by the "
+            "runner outlive the campaign if an exception path skips "
+            "their close: leaked workers keep scratch directories "
+            "pinned and leaked sockets exhaust fds during chaos "
+            "soaks. The check tracks each handle from creation to "
+            "close/hand-off on every CFG path; handles stored on self "
+            "must be closed by some method of the class."
+        ),
+        example=(
+            "sock = socket.create_connection(addr)\n"
+            "hello(sock)          # raises -> sock leaks\n"
+            "sock.close()"
+        ),
+        fix=(
+            "sock = socket.create_connection(addr)\n"
+            "try:\n"
+            "    hello(sock)\n"
+            "finally:\n"
+            "    sock.close()\n"
+            "# or use `with`, or hand the socket off to an owner that "
+            "closes it."
+        ),
+    ),
+    "RPL504": Explanation(
+        code="RPL504",
+        title="ambient clock read beside an explicit now",
+        rationale=(
+            "Runner and service code thread monotonic `now` values "
+            "explicitly so that replays and tests can drive time. A "
+            "function that takes `now` (or `deadline`) but also calls "
+            "time.monotonic()/time.time() mixes two clocks: behaviour "
+            "diverges between live runs and replays, and the RPL103 "
+            "allowlist no longer describes where time enters."
+        ),
+        example=(
+            "def renew(self, executor_id, now):\n"
+            "    lease.expires_at = time.monotonic() + self.ttl_s"
+        ),
+        fix=(
+            "def renew(self, executor_id, now):\n"
+            "    lease.expires_at = now + self.ttl_s\n"
+            "# read the clock once at the edge (an RPL103-allowlisted\n"
+            "# module) and pass it down."
+        ),
+    ),
+}

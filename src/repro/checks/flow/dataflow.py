@@ -1,0 +1,139 @@
+"""Forward dataflow over :mod:`repro.checks.flow.cfg` graphs.
+
+A small worklist solver over a powerset lattice of hashable *facts*:
+
+* **may** analyses (union meet) answer "does some path reach here with
+  this fact?" — used for leak detection (an obligation alive on any
+  path to exit is a leak).
+* **must** analyses (intersection meet) answer "do all paths establish
+  this fact?" — used for the journal/lease discipline (an append is
+  only safe if *every* path to it touched the lease table).
+
+Exception edges propagate the *pre*-state of the raising statement:
+if a statement raises, its effect (e.g. the binding of a resource
+handle) is assumed not to have happened.  All other edges propagate
+the post-state.
+
+Transfer functions must be monotone; termination is then guaranteed
+for finite fact universes.  A generous step bound backstops the solver
+against a non-monotone custom transfer — exceeding it raises
+:class:`FixpointDiverged` rather than hanging the lint run.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.checks.flow.cfg import CFG, EXC, CFGNode
+
+Facts = FrozenSet[object]
+
+#: Lattice top — "no information yet" (never visited).  Distinct from
+#: the empty set, which is genuine "no facts hold here".
+TOP: Optional[Facts] = None
+
+MAY = "may"
+MUST = "must"
+
+
+class FixpointDiverged(RuntimeError):
+    """The worklist exceeded its step bound (non-monotone transfer?)."""
+
+
+class ForwardAnalysis:
+    """Base class: subclass and override :meth:`transfer`.
+
+    ``meet`` is ``"may"`` (union) or ``"must"`` (intersection).
+    """
+
+    meet = MAY
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+
+    # -- to override ---------------------------------------------------------
+
+    def initial(self) -> Facts:
+        """Facts holding at function entry."""
+        return frozenset()
+
+    def transfer(self, node: CFGNode, facts: Facts) -> Facts:
+        """Facts after executing ``node`` given ``facts`` before it."""
+        return facts
+
+    # -- solver --------------------------------------------------------------
+
+    def _merge(self, contribs: list) -> Optional[Facts]:
+        known = [c for c in contribs if c is not None]
+        if not known:
+            return TOP
+        if self.meet == MAY:
+            return frozenset().union(*known)
+        merged = known[0]
+        for c in known[1:]:
+            merged = merged & c
+        return merged
+
+    def solve(
+        self, max_steps: Optional[int] = None
+    ) -> Tuple[Dict[int, Optional[Facts]], Dict[int, Optional[Facts]]]:
+        """Run to fixpoint; returns ``(in_facts, out_facts)`` per node.
+
+        Unreachable nodes keep :data:`TOP` (``None``) — callers must
+        skip them rather than report on them.
+        """
+        cfg = self.cfg
+        n = len(cfg.nodes)
+        if max_steps is None:
+            max_steps = 64 + 16 * n * n
+        preds = cfg.predecessors_map()
+        in_facts: Dict[int, Optional[Facts]] = dict.fromkeys(cfg.nodes, TOP)
+        out_facts: Dict[int, Optional[Facts]] = dict.fromkeys(cfg.nodes, TOP)
+
+        work = deque([cfg.entry])
+        queued = {cfg.entry}
+        steps = 0
+        while work:
+            steps += 1
+            if steps > max_steps:
+                raise FixpointDiverged(
+                    f"dataflow over {cfg.name!r} did not converge in "
+                    f"{max_steps} steps"
+                )
+            nid = work.popleft()
+            queued.discard(nid)
+            node = cfg.nodes[nid]
+            if nid == cfg.entry:
+                merged: Optional[Facts] = self.initial()
+            else:
+                contribs = [
+                    in_facts[p] if kind == EXC else out_facts[p]
+                    for p, kind in preds[nid]
+                ]
+                merged = self._merge(contribs)
+            if merged is TOP:
+                continue
+            new_out = self.transfer(node, merged)
+            if merged == in_facts[nid] and new_out == out_facts[nid]:
+                continue
+            in_facts[nid] = merged
+            out_facts[nid] = new_out
+            for succ, _kind in node.succs:
+                if succ not in queued:
+                    queued.add(succ)
+                    work.append(succ)
+        return in_facts, out_facts
+
+
+class GenKillAnalysis(ForwardAnalysis):
+    """Convenience base: ``out = (in - kill(node)) | gen(node)``."""
+
+    def gen(self, node: CFGNode) -> Facts:
+        return frozenset()
+
+    def kill(self, node: CFGNode) -> Facts:
+        return frozenset()
+
+    def transfer(self, node: CFGNode, facts: Facts) -> Facts:
+        return (facts - self.kill(node)) | self.gen(node)

@@ -1,0 +1,360 @@
+"""Per-function summaries for intraprocedural (same-file) analysis.
+
+The flow passes are intraprocedural: they analyse one function's CFG at
+a time.  To see one level past a call without whole-program analysis,
+this module builds *same-file* summaries:
+
+* import-alias resolution (``import time as t`` → ``t.sleep`` is
+  ``time.sleep``; ``from subprocess import run`` → ``run`` is
+  ``subprocess.run``),
+* the transitive blocking-call closure (an ``async def`` calling a
+  sync helper that calls ``time.sleep`` is still blocking),
+* escaping-raise sets (which exception names can propagate out of a
+  function, after subtracting lexically-enclosing handlers).
+
+Cross-module calls are opaque — a helper imported from another file
+whose body blocks or raises is *not* seen.  That boundary is
+deliberate (documented in DESIGN.md): within this repository the
+disciplines being checked are module-local by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+#: Call targets that block the calling thread (canonical dotted names).
+BLOCKING_CALLS = frozenset({
+    "time.sleep",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+    "socket.create_connection",
+    "socket.getaddrinfo",
+    "os.fsync",
+    "os.system",
+    "os.wait",
+    "os.waitpid",
+    "select.select",
+    "shutil.rmtree",
+    "shutil.copytree",
+    "open",
+    "io.open",
+    "os.open",
+    "os.fdopen",
+    "requests.get",
+    "requests.post",
+    "requests.request",
+    "urllib.request.urlopen",
+})
+
+#: Modules whose aliases we track for call-target canonicalisation.
+_MODULES = frozenset({
+    "time", "subprocess", "socket", "os", "io", "select", "shutil",
+    "requests", "urllib", "urllib.request", "datetime", "random",
+    "asyncio", "tempfile",
+})
+
+#: Handler types that catch everything.
+_BROAD = frozenset({"Exception", "BaseException", "<bare>"})
+
+#: Marker for a bare ``raise`` (re-raise) or a dynamic exception value.
+RERAISE = "<re-raise>"
+
+
+class Aliases:
+    """Local-name → canonical dotted-name maps for one module."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, str] = {}
+        self.names: Dict[str, str] = {}
+
+    @classmethod
+    def collect(cls, tree: ast.AST) -> "Aliases":
+        self = cls()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in _MODULES:
+                        local = alias.asname or alias.name.split(".")[0]
+                        self.modules[local] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.module in _MODULES and node.level == 0:
+                    for alias in node.names:
+                        local = alias.asname or alias.name
+                        self.names[local] = f"{node.module}.{alias.name}"
+        return self
+
+
+def dotted_name(expr: ast.AST) -> Optional[str]:
+    """``a.b.c`` for an attribute chain rooted at a Name, else None."""
+    parts: List[str] = []
+    while isinstance(expr, ast.Attribute):
+        parts.append(expr.attr)
+        expr = expr.value
+    if isinstance(expr, ast.Name):
+        parts.append(expr.id)
+        parts.reverse()
+        return ".".join(parts)
+    return None
+
+
+def call_target(call: ast.Call, aliases: Aliases) -> Optional[str]:
+    """Canonical dotted target of a call, e.g. ``time.sleep``.
+
+    Resolves ``import x as y`` and ``from x import f`` aliases; a name
+    that is neither is returned as written (covers bare ``open`` and
+    ``self.helper`` chains).
+    """
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    root, _, rest = name.partition(".")
+    if rest and root in aliases.modules:
+        return f"{aliases.modules[root]}.{rest}"
+    if not rest and name in aliases.names:
+        return aliases.names[name]
+    return name
+
+
+def blocking_target(call: ast.Call, aliases: Aliases) -> Optional[str]:
+    """The canonical blocking primitive this call names, if any."""
+    target = call_target(call, aliases)
+    if target is not None and target in BLOCKING_CALLS:
+        return target
+    return None
+
+
+def walk_shallow(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested defs.
+
+    The nested ``def``/``class`` node itself is yielded (so a pass can
+    note it exists) but its body is opaque — its statements execute at
+    call time, not in the enclosing function's flow.
+    """
+    stack: List[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if not isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            stack.extend(ast.iter_child_nodes(child))
+
+
+def handler_names(handler: ast.ExceptHandler) -> Set[str]:
+    """The exception names one ``except`` clause catches."""
+    if handler.type is None:
+        return {"<bare>"}
+    out: Set[str] = set()
+    types = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for t in types:
+        name = dotted_name(t)
+        if name is not None:
+            out.add(name.split(".")[-1])
+        else:
+            out.add("<bare>")  # dynamic type: assume broad
+    return out
+
+
+def catches(catcher_sets: List[Set[str]], exc_name: str) -> bool:
+    """Would any of the lexically-enclosing handlers catch this?"""
+    for names in catcher_sets:
+        if names & _BROAD:
+            return True
+        if exc_name in names:
+            return True
+    return False
+
+
+@dataclass
+class FunctionInfo:
+    """Same-file summary of one function."""
+
+    qualname: str
+    cls_name: Optional[str]
+    node: ast.AST
+    is_async: bool
+    #: Direct blocking primitives called: ``(call, primitive)``.
+    blocking: List[Tuple[ast.Call, str]] = field(default_factory=list)
+    #: Same-file calls: ``(call, callee_qualname, enclosing catchers)``.
+    calls: List[Tuple[ast.Call, str, List[Set[str]]]] = (
+        field(default_factory=list)
+    )
+    #: Exception names that can propagate out of this function.
+    escapes: Set[str] = field(default_factory=set)
+    #: ``primitive`` or ``helper -> primitive`` chain, once closed.
+    blocking_chain: Optional[str] = None
+
+
+class ModuleSummaries:
+    """Function index + closures for one parsed module."""
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.aliases = Aliases.collect(tree)
+        self.functions: Dict[str, FunctionInfo] = {}
+        self._module_funcs: Dict[str, str] = {}
+        self._methods: Dict[Tuple[str, str], str] = {}
+        self._index(tree)
+        self._summarise()
+        self._close()
+
+    # -- indexing ------------------------------------------------------------
+
+    def _index(self, tree: ast.AST) -> None:
+        def visit(node: ast.AST, prefix: str, cls: Optional[str]) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    qual = f"{prefix}{child.name}"
+                    self.functions[qual] = FunctionInfo(
+                        qualname=qual,
+                        cls_name=cls,
+                        node=child,
+                        is_async=isinstance(child, ast.AsyncFunctionDef),
+                    )
+                    if cls is None and prefix == "":
+                        self._module_funcs[child.name] = qual
+                    elif cls is not None and prefix == f"{cls}.":
+                        self._methods[(cls, child.name)] = qual
+                    visit(child, f"{qual}.", cls)
+                elif isinstance(child, ast.ClassDef):
+                    visit(child, f"{child.name}.", child.name)
+
+        visit(tree, "", None)
+
+    def resolve_call(
+        self, call: ast.Call, cls_name: Optional[str]
+    ) -> Optional[str]:
+        """Same-file callee qualname for ``f(...)`` or ``self.f(...)``."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self._module_funcs.get(func.id)
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+            and cls_name is not None
+        ):
+            return self._methods.get((cls_name, func.attr))
+        return None
+
+    # -- per-function summaries ----------------------------------------------
+
+    def _summarise(self) -> None:
+        for info in self.functions.values():
+            self._summarise_one(info)
+
+    def _summarise_one(self, info: FunctionInfo) -> None:
+        raises: List[Tuple[ast.Raise, List[Set[str]]]] = []
+
+        def scan(node: ast.AST, catchers: List[Set[str]]) -> None:
+            if isinstance(
+                node,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                return
+            if isinstance(node, ast.Call):
+                prim = blocking_target(node, self.aliases)
+                if prim is not None:
+                    info.blocking.append((node, prim))
+                callee = self.resolve_call(node, info.cls_name)
+                if callee is not None:
+                    info.calls.append((node, callee, list(catchers)))
+            if isinstance(node, ast.Raise):
+                raises.append((node, list(catchers)))
+            if isinstance(node, ast.Try) or (
+                hasattr(ast, "TryStar")
+                and isinstance(node, ast.TryStar)
+            ):
+                merged: Set[str] = set()
+                for h in node.handlers:
+                    merged |= handler_names(h)
+                # The try body sees this try's handlers; handler
+                # bodies, else and finally do not.
+                for stmt in node.body:
+                    scan(stmt, catchers + [merged])
+                for h in node.handlers:
+                    for stmt in h.body:
+                        scan(stmt, catchers)
+                for stmt in node.orelse:
+                    scan(stmt, catchers)
+                for stmt in node.finalbody:
+                    scan(stmt, catchers)
+                return
+            for child in ast.iter_child_nodes(node):
+                scan(child, catchers)
+
+        # Only the body: decorators and default-argument expressions
+        # run at definition time, not inside the function.
+        for stmt in info.node.body:
+            scan(stmt, [])
+
+        for raise_node, catchers in raises:
+            name = self._raise_name(raise_node)
+            if not catches(catchers, name):
+                info.escapes.add(name)
+
+    @staticmethod
+    def _raise_name(node: ast.Raise) -> str:
+        if node.exc is None:
+            return RERAISE
+        exc = node.exc
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        name = dotted_name(exc)
+        if name is None:
+            return RERAISE
+        return name.split(".")[-1]
+
+    # -- closures ------------------------------------------------------------
+
+    def _close(self) -> None:
+        # Blocking chains: seed with direct primitives, then propagate
+        # backwards along same-file calls to a (bounded) fixpoint.
+        for info in self.functions.values():
+            if info.blocking:
+                info.blocking_chain = info.blocking[0][1]
+        for _ in range(len(self.functions) + 1):
+            changed = False
+            for info in self.functions.values():
+                if info.blocking_chain is not None:
+                    continue
+                for _call, callee, _catchers in info.calls:
+                    chain = self.functions[callee].blocking_chain
+                    if chain is not None and callee != info.qualname:
+                        short = callee.split(".")[-1]
+                        info.blocking_chain = f"{short} -> {chain}"
+                        changed = True
+                        break
+            if not changed:
+                break
+
+        # Escaping raises: propagate callee escapes through call sites
+        # not wrapped in a catching try.
+        for _ in range(len(self.functions) + 1):
+            changed = False
+            for info in self.functions.values():
+                for _call, callee, catchers in info.calls:
+                    if callee == info.qualname:
+                        continue
+                    for exc in self.functions[callee].escapes:
+                        if not catches(catchers, exc) and (
+                            exc not in info.escapes
+                        ):
+                            info.escapes.add(exc)
+                            changed = True
+            if not changed:
+                break
+
+    def blocking_chain(self, qualname: str) -> Optional[str]:
+        info = self.functions.get(qualname)
+        return info.blocking_chain if info else None

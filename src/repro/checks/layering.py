@@ -27,7 +27,7 @@ from __future__ import annotations
 import ast
 from typing import Dict, Iterable, List, Set, Tuple
 
-from repro.checks.diagnostics import Diagnostic, PyFile
+from repro.checks.diagnostics import Diagnostic, Explanation, PyFile
 
 #: The repo's layer DAG.  Top-level modules (``repro/cli.py``) are
 #: treated as single-module packages.  Subpackages share their parent's
@@ -213,3 +213,59 @@ def _cycles(graph: Dict[str, Set[str]]) -> List[List[str]]:
         if node not in index:
             strongconnect(node)
     return sorted(sccs)
+
+
+EXPLANATIONS = {
+    "RPL201": Explanation(
+        code="RPL201",
+        title="upward import (lower layer imports higher)",
+        rationale=(
+            "The package DAG (core -> thermal/power -> arch -> bench "
+            "-> runner/service ...) keeps physics importable without "
+            "dragging in schedulers. An upward import inverts the "
+            "dependency and eventually forces a cycle."
+        ),
+        example="# in core/units.py\nfrom repro.runner.scheduler import ...",
+        fix=(
+            "Move the shared piece down a layer, or pass the higher-"
+            "layer object in as a parameter/callback."
+        ),
+    ),
+    "RPL202": Explanation(
+        code="RPL202",
+        title="cross-layer import between same-layer packages",
+        rationale=(
+            "Sibling packages on one layer are alternatives, not "
+            "dependencies (thermal must not import power); coupling "
+            "them makes the layer unsplittable."
+        ),
+        example="# in thermal/solver.py\nfrom repro.power.models import ...",
+        fix="Hoist the shared type into the layer below (e.g. core).",
+    ),
+    "RPL203": Explanation(
+        code="RPL203",
+        title="package import cycle",
+        rationale=(
+            "A cycle between packages means neither can be imported, "
+            "tested or reasoned about alone; import order starts to "
+            "matter and partial-initialisation bugs follow."
+        ),
+        example="resilience -> runner -> resilience",
+        fix=(
+            "Break the cycle with an interface module in a lower "
+            "layer, or defer one import into the function that needs "
+            "it."
+        ),
+    ),
+    "RPL204": Explanation(
+        code="RPL204",
+        title="import of a package with no assigned layer",
+        rationale=(
+            "Every top-level package must appear in the layering map; "
+            "an unmapped package is invisible to RPL201-203 and its "
+            "imports are unchecked."
+        ),
+        example="from repro.newpkg import thing   # newpkg not in LAYERS",
+        fix="Add the package to DEFAULT_LAYERS in checks/layering.py.",
+    ),
+}

@@ -19,7 +19,7 @@ import ast
 import re
 from typing import Iterable, List, Optional
 
-from repro.checks.diagnostics import Diagnostic, PyFile
+from repro.checks.diagnostics import Diagnostic, Explanation, PyFile
 
 #: Files the pass scans (prefix match on package-root-relative paths).
 DEFAULT_SCOPE = ("thermal/", "uarch/power.py")
@@ -139,3 +139,41 @@ def run(
         if in_scope(pf.rel, scope, exempt):
             out.extend(check_file(pf))
     return out
+
+
+EXPLANATIONS = {
+    "RPL401": Explanation(
+        code="RPL401",
+        title="Material constructed from a bare literal",
+        rationale=(
+            "Material properties (conductivity, heat capacity) must "
+            "come from the named-constant tables so every physical "
+            "number is cited and unit-checked once; a bare literal "
+            "bypasses both."
+        ),
+        example="m = Material(k=1.5, c=1.75e6)",
+        fix="m = Material(k=K_SILICON_W_MK, c=C_SILICON_J_M3K)",
+    ),
+    "RPL402": Explanation(
+        code="RPL402",
+        title="bare physics literal at a call site",
+        rationale=(
+            "A numeric literal with physics units passed straight "
+            "into a solver call cannot be audited against the paper; "
+            "named constants carry the unit and the citation."
+        ),
+        example="solve(dt=0.001, k=149.0)",
+        fix="solve(dt=DT_S, k=K_SILICON_W_MK)",
+    ),
+    "RPL403": Explanation(
+        code="RPL403",
+        title="bare physics literal as a parameter default",
+        rationale=(
+            "Defaults are the most-silently-used values in the "
+            "codebase; a physics default must be a named constant so "
+            "changing it is one reviewed edit, not a scavenger hunt."
+        ),
+        example="def simulate(k=149.0):",
+        fix="def simulate(k=K_SILICON_W_MK):",
+    ),
+}

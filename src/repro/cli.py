@@ -18,9 +18,10 @@ Commands:
   supervised workers with timeouts, retries, and a resumable journal.
 * ``verify`` — integrity-check an artifact offline: a checkpoint's
   sha256 envelope or a journal's per-line CRCs; exits 1 on corruption.
-* ``lint`` — run the four static invariant passes (determinism,
-  layering, experiment contracts, physics hygiene) over the source
-  tree; exits 2 on violations not grandfathered by the baseline.
+* ``lint`` — run the static invariant passes (determinism, layering,
+  experiment contracts, physics hygiene, plus the flow-sensitive
+  concurrency and async-safety families) over the source tree; exits
+  2 on violations not grandfathered by the baseline.
 * ``bench`` — time the simulator hot paths against their reference
   implementations, write a ``BENCH_repro.json`` report, and optionally
   gate against a committed baseline (exit 1 on a speedup regression).
@@ -779,7 +780,8 @@ def build_parser() -> argparse.ArgumentParser:
     lint = sub.add_parser(
         "lint",
         help="run the static invariant passes (RPL1xx determinism, "
-             "RPL2xx layering, RPL3xx contracts, RPL4xx physics)",
+             "RPL2xx layering, RPL3xx contracts, RPL4xx physics, "
+             "RPL5xx concurrency, RPL6xx async safety)",
     )
     lint.add_argument("--root", metavar="DIR",
                       help="package directory to scan (default: the "
@@ -801,6 +803,9 @@ def build_parser() -> argparse.ArgumentParser:
                            "and exit 0")
     lint.add_argument("--verbose", action="store_true",
                       help="also print baselined (suppressed) findings")
+    lint.add_argument("--explain", metavar="RPL###",
+                      help="print the rule's rationale, an example "
+                           "violation and the fix pattern, then exit")
 
     bench = sub.add_parser(
         "bench",

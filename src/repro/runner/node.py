@@ -95,6 +95,18 @@ class Node:
         self._saw_task = False
         self._next_beat = 0.0
 
+    def close(self) -> None:
+        """Release the control socket (idempotent).
+
+        The OS would reclaim it at process exit, but an explicit close
+        lets the scheduler see EOF immediately instead of waiting out
+        a heartbeat timeout when the node exits cleanly.
+        """
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - close never fails on Linux
+            pass
+
     # -- control-plane I/O ---------------------------------------------------
 
     def _partitioned(self, now: float) -> bool:
@@ -211,6 +223,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return node.run()
     finally:
         node.pool.kill_all(grace_s=0.2)
+        node.close()
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

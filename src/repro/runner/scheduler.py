@@ -325,10 +325,14 @@ class Scheduler:
             # aggregate.
             report.duplicate_completions += 1
             self._per_executor(executor_id)["duplicates"] += 1
+            # Release the straggler's lease *before* journalling: the
+            # audit line must describe work whose lease custody has
+            # already been settled (RPL502), and a crash between the
+            # two must not strand the fingerprint as still-leased.
+            self._leases.release(fingerprint, executor_id)
             self._journal.append(self._entry(
                 outcome, executor_id, final=False, duplicate=True,
             ))
-            self._leases.release(fingerprint, executor_id)
             return
 
         status = outcome.get("status", "crash")

@@ -53,7 +53,7 @@ from repro.runner.scheduler import run_campaign
 from repro.runner.supervisor import CampaignConfig, RetryPolicy
 from repro.runner.tasks import DEFAULT_REGISTRY_SPEC, CampaignTask
 from repro.service import handlers
-from repro.service.jobstore import QUEUED, Job, JobStore
+from repro.service.jobstore import QUEUED, RUNNING, Job, JobStore
 from repro.service.middleware import ProtectionPipeline, Request, Response
 from repro.service.protection import (
     AdmissionPolicy,
@@ -428,6 +428,12 @@ class ReproService:
             await asyncio.sleep(
                 min(0.05, self.config.breaker_reset_s / 4)
             )
+        if job.state != QUEUED:
+            # Re-validate after parking on the breaker: while this
+            # coroutine slept, the job may have been shed, failed by a
+            # sibling dispatcher, or completed from cache.  Marking it
+            # running anyway would overwrite that transition.
+            return
         self.jobs.mark_running(job)
         injector = self.config.injector
         if injector is not None and injector.service_fault(
@@ -465,6 +471,11 @@ class ReproService:
                              backend_fault=True)
             return
         self._absorb_report(report)
+        if job.state != RUNNING:
+            # Re-validate after the executor await: only a job still
+            # in this dispatcher's custody may be completed or failed
+            # here (a resubmission could already have re-queued it).
+            return
         entry = self._winning_entry(job)
         if entry is None:
             error, error_type, backend_fault = self._classify_failure(report)

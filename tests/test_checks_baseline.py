@@ -116,13 +116,14 @@ class TestEngine:
         report = run_lint()
         text = render_text(report)
         assert "verdict: OK" in text
-        assert "4 passes" in text
+        assert "6 passes" in text
 
     def test_json_shape(self):
         payload = to_json(run_lint())
         assert payload["version"] == 1
         assert payload["passes"] == [
             "determinism", "layering", "contracts", "physics",
+            "concurrency", "async",
         ]
         assert set(payload["codes"]) == set(CODES)
         assert payload["ok"] is True

@@ -126,6 +126,7 @@ class TestLint:
         assert payload["ok"] is True
         assert payload["passes"] == [
             "determinism", "layering", "contracts", "physics",
+            "concurrency", "async",
         ]
         for entry in payload["diagnostics"]:
             assert {"path", "line", "code", "message"} <= set(entry)
@@ -142,6 +143,30 @@ class TestLint:
         with_baseline = run_cli("lint", "--baseline", str(baseline))
         assert with_baseline.returncode == 0
         assert "baselined" in with_baseline.stdout
+
+    def test_explain_renders_pass_documentation(self):
+        proc = run_cli("lint", "--explain", "RPL501")
+        assert proc.returncode == 0
+        assert "RPL501" in proc.stdout
+        assert "why:" in proc.stdout
+        assert "example violation:" in proc.stdout
+        assert "fix pattern:" in proc.stdout
+
+    def test_explain_accepts_bare_number(self):
+        proc = run_cli("lint", "--explain", "602")
+        assert proc.returncode == 0
+        assert "RPL602" in proc.stdout
+
+    def test_explain_unknown_code_exits_two(self):
+        proc = run_cli("lint", "--explain", "RPL999")
+        assert proc.returncode == 2
+        assert "RPL999" in proc.stdout
+
+    def test_select_rpl5_rpl6_clean(self):
+        # CI's self-check: the shipped tree carries zero flow-analysis
+        # findings, baseline or not.
+        proc = run_cli("lint", "--select", "RPL5,RPL6", "--no-baseline")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
 
     def test_select_narrows_to_one_family(self):
         proc = run_cli("lint", "--select", "RPL4", "--no-baseline",

@@ -248,3 +248,50 @@ class TestBitIdenticalResume:
         assert {t["fingerprint"] for t in resumed.tasks} == {
             t["fingerprint"] for t in clean.tasks
         }
+
+
+class TestNodeClose:
+    """Node.close() releases the control socket deterministically.
+
+    Without it the scheduler only notices a cleanly exiting node when
+    its heartbeats stop — a full lease-timeout later.
+    """
+
+    def test_close_releases_control_socket(self, tmp_path):
+        import argparse
+        import socket
+
+        from repro.runner.node import Node
+
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+        node = None
+        conn = None
+        try:
+            node = Node(argparse.Namespace(
+                node_id="n1",
+                workers=1,
+                heartbeat_every=0.2,
+                poll_interval=0.02,
+                chaos="",
+                scratch=str(tmp_path),
+                heartbeat_timeout=5.0,
+                kill_grace=0.5,
+                connect=port,
+            ))
+            conn, _addr = listener.accept()
+            conn.settimeout(5.0)
+            assert node.sock.fileno() != -1
+            node.close()
+            assert node.sock.fileno() == -1
+            node.close()  # idempotent
+            # the scheduler side sees EOF immediately, not a timeout
+            assert conn.recv(1024) == b""
+        finally:
+            if conn is not None:
+                conn.close()
+            listener.close()
+            if node is not None:
+                node.pool.kill_all(grace_s=0.1)

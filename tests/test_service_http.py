@@ -377,3 +377,50 @@ class TestWarmRestart:
             assert second == first
             _s, _h, stats = request(svc.port, "GET", "/stats")
             assert json.loads(stats)["jobs"]["simulations"] == 0
+
+
+class TestDispatcherRevalidation:
+    """_process must re-check job state after parking on the breaker.
+
+    While a dispatcher sleeps on an open circuit, the job it holds can
+    be failed, shed, or completed by someone else; marking it running
+    afterwards would silently overwrite that transition (and burn an
+    attempt).  Regression test for the RPL602 finding.
+    """
+
+    def test_breaker_park_revalidates_job_state(self, tmp_path):
+        import asyncio
+
+        from repro.service.jobstore import FAILED
+        from repro.service.server import ReproService, ServiceConfig
+
+        config = ServiceConfig(
+            port=0,
+            data_dir=str(tmp_path / "svc"),
+            registry_spec=FAST_REGISTRY_SPEC,
+            backend="inproc",
+            breaker_threshold=1,
+            breaker_reset_s=0.3,
+        )
+        svc = ReproService(config)
+        try:
+            job, created = svc.jobs.get_or_create(
+                "fp-reval", "quick", {}, 7, FAST_REGISTRY_SPEC
+            )
+            assert created
+            svc.breaker.record_failure(svc.now())  # threshold=1: opens
+
+            async def run():
+                task = asyncio.create_task(svc._process("fp-reval"))
+                await asyncio.sleep(0.05)  # parked on the open breaker
+                svc.jobs.mark_failed(job, "shed by operator", "Shed")
+                await asyncio.wait_for(task, timeout=10.0)
+
+            asyncio.run(run())
+            # the dispatcher observed the transition and backed off:
+            # no mark_running (which would flip state and bump attempts)
+            assert job.state == FAILED
+            assert job.attempts == 0
+        finally:
+            svc.jobs.close()
+            svc._pool.shutdown(wait=False)
