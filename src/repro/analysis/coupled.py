@@ -1,0 +1,142 @@
+"""Reports for the closed-loop thermal/DVFS co-simulation.
+
+Two views of a coupled run: the per-epoch trace (what each side of the
+loop saw, epoch by epoch) and the policy comparison — a Pareto-style
+table over (performance kept, peak temperature) with dominated policies
+marked, so "which DTM policy should I ship" is answerable at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.analysis.tables import format_table
+
+
+def format_epoch_trace(
+    result: Mapping[str, Any], max_rows: int = 0
+) -> str:
+    """Per-epoch trace table of one coupled run.
+
+    Args:
+        result: A ``CoupledResult.to_dict()`` (or an experiment result
+            containing its keys).
+        max_rows: Truncate to the first *max_rows* epochs (0 = all).
+    """
+    epochs: Sequence[Mapping[str, Any]] = result["epochs"]
+    if max_rows > 0:
+        epochs = epochs[:max_rows]
+    rows = [
+        [
+            e["epoch"],
+            e["t_s"],
+            e["activity"],
+            e["vcc"],
+            e["power_w"],
+            e["perf_pct"],
+            e["peak_c"],
+            "*" if e["throttled"] else "",
+        ]
+        for e in epochs
+    ]
+    title = (
+        f"policy={result['policy']}  ceiling={result['ceiling_c']:.2f} C  "
+        f"tau={result['tau_s']:.2f} s"
+    )
+    return format_table(
+        ["epoch", "t_s", "activity", "vcc", "power_w", "perf_pct",
+         "peak_c", "throttled"],
+        rows,
+        title=title,
+    )
+
+
+def pareto_front(
+    summaries: Sequence[Mapping[str, Any]],
+) -> List[bool]:
+    """Which policies are Pareto-optimal on (avg perf up, max peak down).
+
+    A policy is dominated if another keeps at least as much performance
+    at an equal-or-lower peak temperature, strictly better in one of
+    the two.  Returns one flag per input summary, True = on the front.
+    """
+    front: List[bool] = []
+    for i, a in enumerate(summaries):
+        dominated = False
+        for j, b in enumerate(summaries):
+            if i == j:
+                continue
+            no_worse = (
+                b["avg_perf_pct"] >= a["avg_perf_pct"]
+                and b["max_peak_c"] <= a["max_peak_c"]
+            )
+            better = (
+                b["avg_perf_pct"] > a["avg_perf_pct"]
+                or b["max_peak_c"] < a["max_peak_c"]
+            )
+            if no_worse and better:
+                dominated = True
+                break
+        front.append(not dominated)
+    return front
+
+
+def format_policy_comparison(
+    summaries: Sequence[Mapping[str, Any]],
+    ceiling_c: Optional[float] = None,
+) -> str:
+    """Pareto-style comparison table of DTM policy summaries.
+
+    Args:
+        summaries: ``CoupledResult.summary()`` dicts, one per policy.
+        ceiling_c: Ceiling to annotate in the title (defaults to the
+            first summary's).
+    """
+    if not summaries:
+        return "no policies to compare"
+    if ceiling_c is None:
+        ceiling_c = summaries[0]["ceiling_c"]
+    front = pareto_front(summaries)
+    rows = [
+        [
+            s["policy"],
+            s["avg_perf_pct"],
+            s["max_peak_c"],
+            s["final_peak_c"],
+            s["final_vcc"],
+            s["energy_j"],
+            s["exceeded_epochs"],
+            "pareto" if on_front else "dominated",
+        ]
+        for s, on_front in zip(summaries, front)
+    ]
+    return format_table(
+        ["policy", "avg_perf_pct", "max_peak_c", "final_peak_c",
+         "final_vcc", "energy_j", "exceeded", "front"],
+        rows,
+        title=f"DTM policy comparison (ceiling {ceiling_c:.2f} C)",
+    )
+
+
+def format_spike_report(result: Mapping[str, Any]) -> str:
+    """Render the ``dtm_load_spike`` experiment result.
+
+    One comparison table plus the pass/fail line the experiment exists
+    to answer: did the control run bust the ceiling while every DTM
+    policy stayed under it?
+    """
+    policies: Dict[str, Mapping[str, Any]] = result["policies"]
+    table = format_policy_comparison(
+        list(policies.values()), ceiling_c=result["ceiling_c"]
+    )
+    control = result["control_exceeded_epochs"]
+    dtm = result["dtm_exceeded_epochs"]
+    verdict = (
+        "PASS" if control > 0 and all(v == 0 for v in dtm.values())
+        else "FAIL"
+    )
+    return (
+        f"{table}\n"
+        f"control exceeded {control} epochs; "
+        f"DTM exceedances: {dtm} -> {verdict}"
+    )

@@ -13,6 +13,10 @@ timing is trusted:
   operator/LU path; temperatures must be bit-identical.
 * ``thermal-transient`` — cold backward-Euler setup vs the cached
   (geometry, dt) factorization; peak curves must be bit-identical.
+* ``coupled-loop`` — the closed-loop thermal/DVFS engine with cold
+  per-epoch assembly (``reuse_operator=False``) vs the cached
+  per-(geometry, dt) LU reused across every epoch; the per-epoch peak
+  and V/f traces must be bit-identical.
 * ``oracle-overhead/*`` — the same hot path with oracles off
   (reference) vs ``sample`` mode (optimized); results must match
   exactly and the slowdown must stay within
@@ -25,11 +29,18 @@ happens only through :func:`repro.bench.harness.time_best`.
 
 from __future__ import annotations
 
+from dataclasses import replace as dc_replace
 from typing import Any, Dict, List, Optional
 
 import numpy as np
 
 from repro.bench.harness import BenchResult, time_best
+from repro.coupled import (
+    CoupledConfig,
+    ThresholdDtm,
+    constant_load,
+    run_coupled_loop,
+)
 from repro.floorplan.core2duo import core2duo_floorplan
 from repro.memsim.config import baseline_config
 from repro.memsim.replay import ReplayStats, replay_trace
@@ -217,6 +228,55 @@ def bench_thermal_transient(
     )
 
 
+def bench_coupled_loop(
+    nx: int, n_epochs: int, repeats: int
+) -> BenchResult:
+    """Cold per-epoch thermal assembly vs the cached per-dt LU reuse.
+
+    The closed loop calls the transient solver once per control epoch
+    with the same geometry and dt, so the per-(geometry, dt) LU cache
+    turns N epochs of assemble+factorize into one.  Both sides run the
+    identical control trajectory; peak and V/f traces must match
+    bit-for-bit.
+    """
+    base = CoupledConfig(
+        nx=nx,
+        n_epochs=n_epochs,
+        epoch_s=1.0,
+        dt_s=0.5,
+        calibration_s=10.0,
+        calibration_dt_s=0.5,
+    )
+    cold_cfg = dc_replace(base, reuse_operator=False)
+
+    def run_cold():
+        clear_operator_cache()
+        return run_coupled_loop(
+            ThresholdDtm(), constant_load(1.0), cold_cfg
+        )
+
+    def run_warm():
+        return run_coupled_loop(ThresholdDtm(), constant_load(1.0), base)
+
+    cold = run_cold()
+    warm = run_warm()  # cache primed by its own first epoch
+    equivalent = (
+        [e.peak_c for e in cold.epochs] == [e.peak_c for e in warm.epochs]
+        and [e.vcc for e in cold.epochs] == [e.vcc for e in warm.epochs]
+        and cold.tau_s == warm.tau_s
+    )
+    reference_s = time_best(run_cold, repeats)
+    optimized_s = time_best(run_warm, repeats)
+    return BenchResult(
+        name="coupled-loop",
+        reference_s=reference_s,
+        optimized_s=optimized_s,
+        equivalent=equivalent,
+        repeats=repeats,
+        meta={"nx": nx, "n_epochs": n_epochs},
+    )
+
+
 def bench_oracle_replay(
     kernel: str,
     n_records: int,
@@ -356,6 +416,10 @@ def run_suite(
         steps = 10 if quick else 20
         say(f"bench thermal-transient (nx={nx_t}, {steps} steps)...")
         results.append(bench_thermal_transient(nx_t, steps, repeats))
+        nx_c = 16 if quick else 20
+        epochs_c = 6 if quick else 10
+        say(f"bench coupled-loop (nx={nx_c}, {epochs_c} epochs)...")
+        results.append(bench_coupled_loop(nx_c, epochs_c, repeats))
 
     kernel, n_records, warmup = _REPLAY_PLAN[tier][0]
     say(f"bench oracle-overhead/replay-{kernel} ({n_records} records)...")

@@ -6,11 +6,12 @@ enforces the layer DAG (documented in DESIGN.md):
     0  resilience
     1  oracles, traces, floorplan
     2  thermal, memsim, uarch
-    3  core
-    4  runner, analysis, validation, checks, bench
-    5  service
-    6  cli
-    7  repro (top-level __init__), __main__
+    3  coupled
+    4  core
+    5  runner, analysis, validation, checks, bench
+    6  service
+    7  cli
+    8  repro (top-level __init__), __main__
 
 A module may import its own package and any package in a *strictly
 lower* layer.  Importing upward is ``RPL201``; importing sideways
@@ -43,16 +44,17 @@ DEFAULT_LAYERS: Dict[str, int] = {
     "thermal": 2,
     "memsim": 2,
     "uarch": 2,
-    "core": 3,
-    "runner": 4,
-    "analysis": 4,
-    "validation": 4,
-    "checks": 4,
-    "bench": 4,
-    "service": 5,  # schedules campaigns; only cli may import it
-    "cli": 6,
-    "__main__": 7,  # delegates to cli by design
-    "repro": 7,  # the top-level __init__ re-exports from anywhere
+    "coupled": 3,  # closes the loop over thermal + uarch; core drives it
+    "core": 4,
+    "runner": 5,
+    "analysis": 5,
+    "validation": 5,
+    "checks": 5,
+    "bench": 5,
+    "service": 6,  # schedules campaigns; only cli may import it
+    "cli": 7,
+    "__main__": 8,  # delegates to cli by design
+    "repro": 8,  # the top-level __init__ re-exports from anywhere
 }
 
 

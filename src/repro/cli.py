@@ -422,6 +422,68 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return lint_main(args)
 
 
+def _cmd_dtm(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.analysis.coupled import (
+        format_epoch_trace,
+        format_policy_comparison,
+    )
+    from repro.coupled import (
+        CoupledConfig,
+        NoDtm,
+        PidDtm,
+        PredictiveDtm,
+        ThresholdDtm,
+        bursty_load_spikes,
+        constant_load,
+        run_coupled_loop,
+    )
+
+    spike = args.load == "spike"
+    config = CoupledConfig(
+        nx=args.nx,
+        n_epochs=args.epochs,
+        epoch_s=args.epoch_s,
+        dt_s=args.dt,
+        start="steady" if spike else "cold",
+    )
+    load = (
+        bursty_load_spikes(seed=args.seed) if spike
+        else constant_load(1.0)
+    )
+    # Spike-scenario tuning matches the dtm_load_spike experiment: the
+    # threshold actuator slews 3%/epoch, the reactive PID gets the
+    # widest guard.
+    available = {
+        "none": lambda: NoDtm(),
+        "threshold": lambda: (
+            ThresholdDtm(vcc_step=0.03) if spike else ThresholdDtm()
+        ),
+        "pid": lambda: PidDtm(guard_c=6.0) if spike else PidDtm(),
+        "predictive": lambda: PredictiveDtm(),
+    }
+    names = list(available) if args.policy == "all" else [args.policy]
+    results = [
+        run_coupled_loop(available[name](), load, config) for name in names
+    ]
+    if args.json:
+        print(json_module.dumps(
+            {r.policy: r.to_dict() for r in results}, indent=2
+        ))
+        return 0
+    if len(results) == 1:
+        print(format_epoch_trace(results[0].to_dict()))
+    else:
+        print(format_policy_comparison([r.summary() for r in results]))
+    over = {
+        r.policy: r.exceeded_epochs for r in results if r.exceeded_epochs
+    }
+    if over:
+        print(f"ceiling exceeded: {over}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import (
         compare_to_baseline,
@@ -830,6 +892,32 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeats", type=int, default=3,
                        help="best-of repeats per timing")
 
+    dtm = sub.add_parser(
+        "dtm",
+        help="closed-loop thermal/DVFS co-simulation with DTM policies",
+    )
+    dtm.add_argument("--policy", default="all",
+                     choices=["all", "none", "threshold", "pid",
+                              "predictive"],
+                     help="DTM policy to run (all = comparison table)")
+    dtm.add_argument("--load", default="spike",
+                     choices=["spike", "constant"],
+                     help="workload driver: bursty load spikes (warm "
+                          "start) or the constant design point (cold "
+                          "start)")
+    dtm.add_argument("--nx", type=int, default=20,
+                     help="thermal grid resolution")
+    dtm.add_argument("--epochs", type=int, default=64,
+                     help="number of control epochs")
+    dtm.add_argument("--epoch-s", type=float, default=1.0,
+                     help="control epoch length, seconds")
+    dtm.add_argument("--dt", type=float, default=0.5,
+                     help="backward-Euler step inside an epoch")
+    dtm.add_argument("--seed", type=int, default=0,
+                     help="load-spike jitter seed")
+    dtm.add_argument("--json", action="store_true",
+                     help="emit full per-epoch traces as JSON")
+
     memory = sub.add_parser("memory", help="Section 3 Memory+Logic study")
     memory.add_argument("--workloads", help="comma-separated kernel names")
     memory.add_argument("--scale", type=int, default=8)
@@ -878,6 +966,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _cmd_serve,
         "lint": _cmd_lint,
         "bench": _cmd_bench,
+        "dtm": _cmd_dtm,
     }
     return handlers[args.command](args)
 

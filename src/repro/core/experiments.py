@@ -260,6 +260,127 @@ def _run_table5(**kwargs: Any) -> Dict[str, Any]:
     }
 
 
+def _run_table5_dynamic(**kwargs: Any) -> Dict[str, Any]:
+    """table5_dynamic: closed-loop DVFS convergence to the Same Temp point.
+
+    Where ``table-5`` *solves* for the Same Temp voltage analytically,
+    this experiment *finds* it dynamically: the predictive DTM policy
+    steers the coupled thermal/performance loop from a cold start at
+    full V/f until the stack parks where its steady peak matches the
+    planar ceiling.  The converged operating point is the mean of the
+    trailing epochs.
+    """
+    from repro.coupled import (
+        CoupledConfig,
+        PredictiveDtm,
+        constant_load,
+        run_coupled_loop,
+    )
+    from repro.uarch.dvfs import PLANAR_POWER_W
+
+    config = CoupledConfig(
+        nx=kwargs.get("nx", 20),
+        n_epochs=kwargs.get("n_epochs", 40),
+        epoch_s=kwargs.get("epoch_s", 2.0),
+        dt_s=kwargs.get("dt_s", 0.5),
+    )
+    result = run_coupled_loop(PredictiveDtm(), constant_load(1.0), config)
+    tail = result.epochs[-min(5, len(result.epochs)):]
+    vcc = sum(e.vcc for e in tail) / len(tail)
+    power_w = sum(e.power_w for e in tail) / len(tail)
+    perf_pct = sum(e.perf_pct for e in tail) / len(tail)
+    out = result.to_dict()
+    out["converged"] = {
+        "vcc": vcc,
+        "freq": vcc,
+        "power_w": power_w,
+        "power_pct": 100.0 * power_w / PLANAR_POWER_W,
+        "perf_pct": perf_pct,
+    }
+    return out
+
+
+def _run_dtm_load_spike(**kwargs: Any) -> Dict[str, Any]:
+    """dtm_load_spike: every DTM policy vs. a bursty load-spike schedule.
+
+    The no-DTM control run must bust the thermal ceiling during the
+    sustained spikes; each throttling policy must ride them out below
+    it.  A steady-state study cannot express this scenario at all —
+    it is the closed loop's reason to exist.
+    """
+    from repro.coupled import (
+        CoupledConfig,
+        NoDtm,
+        PidDtm,
+        PredictiveDtm,
+        ThresholdDtm,
+        bursty_load_spikes,
+        run_coupled_loop,
+    )
+
+    config = CoupledConfig(
+        nx=kwargs.get("nx", 20),
+        n_epochs=kwargs.get("n_epochs", 64),
+        epoch_s=kwargs.get("epoch_s", 1.0),
+        dt_s=kwargs.get("dt_s", 0.5),
+        start="steady",
+    )
+    load = bursty_load_spikes(seed=kwargs.get("seed", 0))
+    # Per-policy knobs: the threshold actuator slews 3%/epoch to keep
+    # pace with the ramp; the PID needs the widest guard because it is
+    # purely reactive (no lookahead, no immediate full-range actuation).
+    policies = [
+        NoDtm(),
+        ThresholdDtm(vcc_step=0.03),
+        PidDtm(guard_c=6.0),
+        PredictiveDtm(),
+    ]
+    runs = {p.name: run_coupled_loop(p, load, config) for p in policies}
+    return {
+        "ceiling_c": runs["none"].ceiling_c,
+        "policies": {name: r.summary() for name, r in runs.items()},
+        "control_exceeded_epochs": runs["none"].exceeded_epochs,
+        "dtm_exceeded_epochs": {
+            name: r.exceeded_epochs
+            for name, r in runs.items()
+            if name != "none"
+        },
+    }
+
+
+def _run_dtm_policy_compare(**kwargs: Any) -> Dict[str, Any]:
+    """dtm_policy_compare: performance/temperature Pareto of the policies.
+
+    All four policies run the design-point workload from a warm
+    (full-power steady) start — hotter than the ceiling, so every
+    controller must pull the stack down and then hold it.  The
+    summaries feed the Pareto comparison in ``repro.analysis``.
+    """
+    from repro.coupled import (
+        CoupledConfig,
+        NoDtm,
+        PidDtm,
+        PredictiveDtm,
+        ThresholdDtm,
+        constant_load,
+        run_coupled_loop,
+    )
+
+    config = CoupledConfig(
+        nx=kwargs.get("nx", 20),
+        n_epochs=kwargs.get("n_epochs", 30),
+        epoch_s=kwargs.get("epoch_s", 2.0),
+        dt_s=kwargs.get("dt_s", 0.5),
+        start="steady",
+    )
+    load = constant_load(1.0)
+    summaries = [
+        run_coupled_loop(policy, load, config).summary()
+        for policy in (NoDtm(), ThresholdDtm(), PidDtm(), PredictiveDtm())
+    ]
+    return {"policies": summaries}
+
+
 def _run_headlines(**kwargs: Any) -> Dict[str, Any]:
     """Section 3/4 headline numbers (perf gain, power saving, stages)."""
     from repro.core.logic_on_logic import run_performance_study
@@ -365,6 +486,35 @@ for _experiment in [
                 "Same Perf.": dict(power_w=68.2, perf_pct=100, temp_c=77, vcc=0.82, freq=0.82),
             },
             run=_run_table5,
+        ),
+        Experiment(
+            id="table5_dynamic",
+            title="Closed-loop DVFS convergence to the Same Temp point",
+            paper_values={
+                "vcc": 0.92,
+                "freq": 0.92,
+                "power_w": 97.28,
+                "power_pct": 66.0,
+                "perf_pct": 108.0,
+            },
+            run=_run_table5_dynamic,
+        ),
+        Experiment(
+            id="dtm_load_spike",
+            title="DTM policies riding out bursty load spikes",
+            paper_values={
+                "control_exceeds_ceiling": True,
+                "dtm_exceeds_ceiling": False,
+            },
+            run=_run_dtm_load_spike,
+        ),
+        Experiment(
+            id="dtm_policy_compare",
+            title="Performance/temperature Pareto of the DTM policies",
+            paper_values={
+                "policies": ["none", "threshold", "pid", "predictive"],
+            },
+            run=_run_dtm_policy_compare,
         ),
         Experiment(
             id="headlines",

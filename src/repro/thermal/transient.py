@@ -24,6 +24,7 @@ silently propagating NaN to the end of the run).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, List, Optional, Union
@@ -62,17 +63,28 @@ class TransientResult:
 
     @property
     def peak_rise(self) -> float:
-        """Total peak-temperature rise over the run, Kelvin."""
+        """Total peak-temperature rise over the run, Kelvin.
+
+        Negative on a cooling transient (e.g. a DVFS step-down).
+        """
         return self.peak_c[-1] - self.peak_c[0]
 
     def time_to_fraction(self, fraction: float) -> float:
-        """First sampled time at which the peak reaches *fraction* of its
-        final rise (e.g. 0.63 for one thermal time constant)."""
+        """First sampled time at which the peak covers *fraction* of its
+        total excursion (e.g. 0.63 for one thermal time constant).
+
+        Works for both signs of :attr:`peak_rise`: on a heating run the
+        peak must climb to ``start + fraction * rise``; on a cooling run
+        (negative rise, e.g. a DVFS step-down) it must *fall* to that
+        target.
+        """
         if not 0.0 < fraction <= 1.0:
             raise ValueError("fraction must be in (0, 1]")
-        target = self.peak_c[0] + fraction * self.peak_rise
+        rise = self.peak_rise
+        target = self.peak_c[0] + fraction * rise
         for t, peak in zip(self.times_s, self.peak_c):
-            if peak >= target:
+            reached = peak >= target if rise >= 0 else peak <= target
+            if reached:
                 return t
         return self.times_s[-1]
 
@@ -87,25 +99,37 @@ def solve_transient(
     checkpoint_every: Optional[int] = None,
     checkpoint_path: Optional[Union[str, Path]] = None,
     resume_from: Optional[Union[str, Path]] = None,
+    reuse_operator: bool = True,
 ) -> TransientResult:
     """Integrate the stack's temperature field over time.
 
     Args:
         stack: Configuration to solve.
         config: Discretization parameters.
-        duration_s: Simulated time span.
+        duration_s: Simulated time span; must be a whole number of
+            *dt_s* steps (the run ends exactly where requested, never a
+            silently truncated step short).
         dt_s: Backward-Euler step.
         initial: Starting field (flat or shaped); defaults to uniform
             ambient (a cold power-on).
         power_schedule: Optional multiplier on the dissipated power as a
-            function of time (e.g. ``lambda t: 0.66 if t > 5 else 1.0``
-            for a DVFS step); boundary (ambient) terms are unaffected.
+            function of time; boundary (ambient) terms are unaffected.
+            The schedule is piecewise constant per step: it is sampled
+            once at each step's *start* time and the returned factor
+            applies over ``[t, t + dt)``.  A DVFS step written
+            ``lambda t: 0.66 if t >= 5 else 1.0`` therefore takes effect
+            exactly on the step beginning at t = 5 (a step boundary when
+            dt divides 5), never half a step early.
         checkpoint_every: Snapshot the integration state every this many
             steps (requires *checkpoint_path*).
         checkpoint_path: Where to write snapshots.
         resume_from: Path of a snapshot written by a previous run of the
             *same* stack/config/schedule; integration continues from the
             checkpointed step.
+        reuse_operator: Reuse the geometry-keyed cached operator and its
+            per-dt backward-Euler factorization (the default).  False
+            assembles and factorizes from scratch without touching the
+            cache — the reference side of the coupled-loop benchmark.
 
     Returns:
         A :class:`TransientResult` sampled at every step.
@@ -116,12 +140,21 @@ def solve_transient(
     """
     if duration_s <= 0 or dt_s <= 0:
         raise ValueError("duration and time step must be positive")
+    steps = int(round(duration_s / dt_s))
+    if steps < 1 or not math.isclose(
+        steps * dt_s, duration_s, rel_tol=1e-9, abs_tol=0.0
+    ):
+        raise ValueError(
+            f"dt_s={dt_s:g} does not divide duration_s={duration_s:g}: "
+            f"{steps} whole step(s) would cover {steps * dt_s:g} s; pick a "
+            f"step that divides the duration so the run ends where requested"
+        )
     if checkpoint_every is not None:
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
         if checkpoint_path is None:
             raise ValueError("checkpoint_every requires checkpoint_path")
-    system = assemble_system(stack, config)
+    system = assemble_system(stack, config, reuse_operator=reuse_operator)
     ambient = system.config.ambient_c
 
     n = system.matrix.shape[0]
@@ -147,7 +180,6 @@ def solve_transient(
                     next(iter(operator.transient_lus))
                 )
 
-    steps = int(round(duration_s / dt_s))
     if resume_from is not None:
         # quarantine=True: a checkpoint failing its sha256 envelope is
         # moved to *.quarantined so a retry restarts clean instead of
@@ -157,6 +189,25 @@ def solve_transient(
             raise CheckpointError(
                 f"checkpoint {resume_from} was written for n={state['n']}, "
                 f"dt={state['dt_s']}; this run has n={n}, dt={dt_s}"
+            )
+        # Same cell count is not same stack: a checkpoint from a
+        # different geometry would be silently accepted on n/dt alone.
+        saved_stack = state.get("stack_name")
+        if saved_stack is not None and saved_stack != stack.name:
+            raise CheckpointError(
+                f"checkpoint {resume_from} was written for stack "
+                f"{saved_stack!r}; this run solves {stack.name!r}"
+            )
+        # Duration compatibility: the checkpointed progress must lie
+        # within this run's horizon.  (Resuming an interrupted run with
+        # the full original duration is the normal case, so the saved
+        # target duration may legitimately be shorter than ours.)
+        elapsed_s = int(state["step"]) * dt_s
+        if int(state["step"]) > steps:
+            raise CheckpointError(
+                f"checkpoint {resume_from} is {elapsed_s:g} s into its run "
+                f"(step {state['step']}); this run ends at "
+                f"{duration_s:g} s ({steps} steps) and has nothing to resume"
             )
         temperature = np.asarray(state["temperature"], dtype=float)
         times = list(state["times_s"])
@@ -177,7 +228,12 @@ def solve_transient(
 
     for step in range(start_step, steps + 1):
         t_now = step * dt_s
-        factor = power_schedule(t_now) if power_schedule else 1.0
+        # Piecewise-constant convention (see the docstring): the factor
+        # for the step spanning (t_now - dt, t_now] is the schedule's
+        # value at the step's start, so a step change written with
+        # ``t >= boundary`` lands on the step *beginning* there.
+        t_start = (step - 1) * dt_s
+        factor = power_schedule(t_start) if power_schedule else 1.0
         if factor < 0:
             raise ValueError("power schedule must be non-negative")
         rhs = boundary_rhs + factor * power_part + (system.mass / dt_s) * temperature
@@ -200,6 +256,7 @@ def solve_transient(
                     "step": step,
                     "n": n,
                     "dt_s": dt_s,
+                    "duration_s": duration_s,
                     "temperature": temperature,
                     "times_s": times,
                     "peak_c": peaks,

@@ -180,7 +180,8 @@ class TestExperimentRegistry:
     def test_every_table_and_figure_registered(self):
         assert set(list_experiments()) == {
             "figure-3", "figure-5", "figure-6", "figure-8", "figure-11",
-            "table-4", "table-5", "headlines",
+            "table-4", "table-5", "table5_dynamic", "dtm_load_spike",
+            "dtm_policy_compare", "headlines",
         }
 
     def test_unknown_experiment(self):
