@@ -12,7 +12,10 @@ Four rules, all built on the CFG/dataflow engine in this package:
   a journal append is only trustworthy if *every* path from function
   entry to the append interacts with the lease table first (or the
   function receives a lease explicitly).  This is a must-analysis: a
-  single lease-blind path to an append is a finding.
+  single lease-blind path to an append is a finding.  Calls to a
+  same-class funnel method that itself appends (``_journal_append``)
+  count as appends at the call site — indirection does not launder
+  the custody obligation.
 * **RPL503** — subprocess/socket/file resources created in runner code
   must be closed on every path, handed off, or managed by a ``with``
   block.  A resource stored on ``self`` must be closed by some method
@@ -346,6 +349,30 @@ class _LeaseCustodyAnalysis(ForwardAnalysis):
         return facts
 
 
+def _journal_funnels(cls: ast.ClassDef, journals: Set[str]) -> Set[str]:
+    """Method names that forward to a journal append.
+
+    A class commonly funnels every append through one helper (e.g. a
+    ``_journal_append`` that also notifies an event hook).  Custody is
+    still the *caller's* obligation — treating funnel calls as appends
+    keeps the must-analysis from being blinded by the indirection.
+    """
+    out: Set[str] = set()
+    for node in cls.body:
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == "append"
+                and _chain_of(sub.func.value) in journals
+            ):
+                out.add(node.name)
+                break
+    return out
+
+
 def _check_journal_discipline(
     pf: PyFile, fcs: List[FunctionCFG]
 ) -> List[Diagnostic]:
@@ -360,26 +387,39 @@ def _check_journal_discipline(
         journals, leases = _class_custody_attrs(classes[cls_name])
         if not journals or not leases:
             continue  # journal-only (or lease-only) classes are exempt
+        funnels = _journal_funnels(classes[cls_name], journals)
         for fc in members:
-            out.extend(_check_journal_fn(pf, fc, journals))
+            out.extend(_check_journal_fn(pf, fc, journals, funnels))
     return out
 
 
 def _check_journal_fn(
-    pf: PyFile, fc: FunctionCFG, journals: Set[str]
+    pf: PyFile,
+    fc: FunctionCFG,
+    journals: Set[str],
+    funnels: Set[str] = frozenset(),
 ) -> List[Diagnostic]:
     append_nodes: List[CFGNode] = []
     for node in fc.cfg.stmt_nodes():
         for sub in node.walk():
-            if (
+            if not (
                 isinstance(sub, ast.Call)
                 and isinstance(sub.func, ast.Attribute)
-                and sub.func.attr == "append"
             ):
-                recv = _chain_of(sub.func.value)
-                if recv in journals:
-                    append_nodes.append(node)
-                    break
+                continue
+            recv = _chain_of(sub.func.value)
+            direct = sub.func.attr == "append" and recv in journals
+            # A call to a same-class funnel is an append too; the
+            # funnel's own body is analyzed separately (and recursion
+            # is excluded so it isn't held to its callers' obligation).
+            via_funnel = (
+                sub.func.attr in funnels
+                and recv == "self"
+                and fc.func.name != sub.func.attr
+            )
+            if direct or via_funnel:
+                append_nodes.append(node)
+                break
     if not append_nodes:
         return []
     lease_locals = _lease_locals(fc.func)

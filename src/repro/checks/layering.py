@@ -10,8 +10,9 @@ enforces the layer DAG (documented in DESIGN.md):
     4  core
     5  runner, analysis, validation, checks, bench
     6  service
-    7  cli
-    8  repro (top-level __init__), __main__
+    7  dst
+    8  cli
+    9  repro (top-level __init__), __main__
 
 A module may import its own package and any package in a *strictly
 lower* layer.  Importing upward is ``RPL201``; importing sideways
@@ -51,10 +52,11 @@ DEFAULT_LAYERS: Dict[str, int] = {
     "validation": 5,
     "checks": 5,
     "bench": 5,
-    "service": 6,  # schedules campaigns; only cli may import it
-    "cli": 7,
-    "__main__": 8,  # delegates to cli by design
-    "repro": 8,  # the top-level __init__ re-exports from anywhere
+    "service": 6,  # schedules campaigns; only dst and cli may import it
+    "dst": 7,  # simulation harness drives runner + service from above
+    "cli": 8,
+    "__main__": 9,  # delegates to cli by design
+    "repro": 9,  # the top-level __init__ re-exports from anywhere
 }
 
 

@@ -25,6 +25,11 @@ Commands:
 * ``bench`` — time the simulator hot paths against their reference
   implementations, write a ``BENCH_repro.json`` report, and optionally
   gate against a committed baseline (exit 1 on a speedup regression).
+* ``dst`` — deterministic simulation testing: drive the real
+  scheduler/lease/journal/service stack through seed-derived fault
+  histories on a virtual clock, checking protocol invariants after
+  every event; violations are shrunk to a minimal replayable
+  ``(seed, schedule)`` artifact (exit 1 on violation).
 """
 
 from __future__ import annotations
@@ -32,7 +37,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from typing import Any, List, Optional
 
 from repro.analysis import (
     ascii_heatmap,
@@ -657,6 +662,60 @@ def _cmd_thermal_map(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_dst(args: argparse.Namespace) -> int:
+    from repro.dst import explore, replay
+    from repro.dst.mutations import apply_mutation
+
+    def _progress(history: Any) -> None:
+        if args.verbose:
+            print(history.summary())
+
+    with apply_mutation(args.mutate):
+        if args.replay:
+            history = replay(args.replay)
+            print(history.summary())
+            for violation in history.violations:
+                print(f"  - {violation}")
+            print(f"journal sha256 {history.journal_sha}")
+            print(f"report  sha256 {history.report_sha}")
+            if args.json:
+                print(json.dumps({
+                    "seed": history.seed,
+                    "ok": history.ok,
+                    "violations": history.violations,
+                    "journal_sha": history.journal_sha,
+                    "report_sha": history.report_sha,
+                }, indent=2, sort_keys=True))
+            return 0 if history.ok else 1
+        summary = explore(
+            args.seeds,
+            seed_base=args.seed_base,
+            profile=args.profile,
+            artifact_path=args.artifact,
+            on_history=_progress,
+            shrink=not args.no_shrink,
+        )
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    elif summary["ok"]:
+        print(
+            f"dst: {summary['explored']} histories "
+            f"[{args.profile}], no invariant violations"
+        )
+    if not summary["ok"]:
+        print(
+            f"dst: seed {summary['failing_seed']} violated after "
+            f"{summary['explored']} histories; minimized to "
+            f"{summary['minimal_events']} fault event(s)"
+        )
+        for violation in summary["violations"]:
+            print(f"  - {violation}")
+        if summary["artifact"]:
+            print(f"replayable artifact: {summary['artifact']}")
+            print(f"  (re-run: repro dst --replay {summary['artifact']})")
+    return 0 if summary["ok"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -941,6 +1000,34 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--length-factor", type=float, default=0.5)
     figures.add_argument("--workloads", help="comma-separated kernel names")
 
+    dst = sub.add_parser(
+        "dst",
+        help="deterministic simulation testing of the distributed stack",
+    )
+    dst.add_argument("--seeds", type=int, default=50,
+                     help="number of seed-derived fault histories to "
+                          "explore")
+    dst.add_argument("--seed-base", type=int, default=0,
+                     help="first seed of the batch")
+    dst.add_argument("--profile", default="quick",
+                     choices=["quick", "deep"],
+                     help="history length/chaos profile")
+    dst.add_argument("--replay", metavar="FILE",
+                     help="re-execute a saved (seed, schedule) artifact "
+                          "instead of exploring")
+    dst.add_argument("--artifact", default="dst-artifact.json",
+                     help="where to write the minimized replay artifact "
+                          "on failure")
+    dst.add_argument("--mutate", metavar="NAME",
+                     help="arm a deliberate protocol bug (see "
+                          "repro.dst.mutations) to validate detection")
+    dst.add_argument("--no-shrink", action="store_true",
+                     help="skip schedule minimization on failure")
+    dst.add_argument("--verbose", action="store_true",
+                     help="print one line per explored history")
+    dst.add_argument("--json", action="store_true",
+                     help="emit the exploration summary as JSON")
+
     validate = sub.add_parser("validate", help="run the acceptance suite")
     validate.add_argument("--nx", type=int, help="thermal grid resolution")
     validate.add_argument("--scale", type=int, default=16)
@@ -967,6 +1054,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "lint": _cmd_lint,
         "bench": _cmd_bench,
         "dtm": _cmd_dtm,
+        "dst": _cmd_dst,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,135 @@
+"""Online invariant monitor for simulated histories.
+
+:class:`InvariantChecker.hook` is bound as the scheduler's
+``event_hook``, so the safety properties are checked *after every
+scheduler decision*, not just at the end of a history — a violation is
+pinned to the exact event that introduced it, which is what makes the
+shrinker's minimal prefix meaningful.
+
+The checker keeps a **shadow** of the protocol state it believes the
+scheduler should have (live leases, fences, accepted completions),
+built only from the emitted events — never by peeking at scheduler
+internals — and flags any event that contradicts it:
+
+* a ``claim`` while the fingerprint already has a live lease
+  (mutual exclusion of grants);
+* a ``claim`` whose epoch is not strictly above every epoch previously
+  granted for the fingerprint (fencing tokens must be monotone);
+* a ``claim`` at or below the fingerprint's fence (granting behind the
+  fence would bless a zombie);
+* a ``completed`` (accepted ``ok``) carrying an epoch at or below the
+  fence — the zombie write fencing exists to reject;
+* more than one accepted ``ok`` per fingerprint (double counting).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class InvariantChecker:
+    """Event-hook invariant monitor; collects violation strings."""
+
+    def __init__(self) -> None:
+        self.violations: List[str] = []
+        self.events: List[Tuple[str, Dict[str, Any]]] = []
+        #: fingerprint -> (executor, epoch) of the live lease.
+        self.live: Dict[str, Tuple[str, int]] = {}
+        self.fence: Dict[str, int] = {}
+        self.max_epoch: Dict[str, int] = {}
+        self.accepted_ok: Dict[str, int] = {}
+        self.journal_entries: List[Dict[str, Any]] = []
+
+    def restart(self) -> None:
+        """The simulated scheduler process died and came back.
+
+        Leases, grant counters, and fences are in-memory scheduler
+        state — a crash legitimately loses them, and the restarted
+        scheduler rebuilds from the journal alone.  The shadow must
+        forget the same things, or it would flag the restart's fresh
+        epoch-1 grants as protocol violations.  Accepted-completion
+        counts persist: they shadow the *journal*, which survives.
+        """
+        self.live = {}
+        self.max_epoch = {}
+        self.fence = {}
+
+    # -- the hook ------------------------------------------------------------
+
+    def hook(self, kind: str, payload: Dict[str, Any]) -> None:
+        self.events.append((kind, payload))
+        handler = getattr(self, f"_on_{kind.replace('-', '_')}", None)
+        if handler is not None:
+            handler(payload)
+
+    def _flag(self, what: str) -> None:
+        self.violations.append(f"event {len(self.events)}: {what}")
+
+    # -- event handlers ------------------------------------------------------
+
+    def _on_claim(self, p: Dict[str, Any]) -> None:
+        fp = p["fingerprint"]
+        epoch = int(p["epoch"])
+        short = fp[:12]
+        if fp in self.live:
+            holder, held_epoch = self.live[fp]
+            self._flag(
+                f"claim of {short} for {p['executor']!r} (epoch {epoch}) "
+                f"while {holder!r} holds a live lease (epoch {held_epoch})"
+            )
+        if epoch <= self.max_epoch.get(fp, 0):
+            self._flag(
+                f"claim of {short} with epoch {epoch} not strictly above "
+                f"the previous grant (epoch {self.max_epoch[fp]})"
+            )
+        if epoch <= self.fence.get(fp, 0):
+            self._flag(
+                f"claim of {short} with epoch {epoch} at or below its "
+                f"fence ({self.fence[fp]})"
+            )
+        self.live[fp] = (p["executor"], epoch)
+        self.max_epoch[fp] = max(self.max_epoch.get(fp, 0), epoch)
+
+    def _on_reclaim(self, p: Dict[str, Any]) -> None:
+        fp = p["fingerprint"]
+        self.fence[fp] = max(self.fence.get(fp, 0), int(p["epoch"]))
+        self.live.pop(fp, None)
+
+    def _on_completed(self, p: Dict[str, Any]) -> None:
+        fp = p["fingerprint"]
+        epoch = p.get("epoch")
+        if epoch is not None and int(epoch) <= self.fence.get(fp, 0):
+            self._flag(
+                f"accepted ok for {fp[:12]} carries epoch {epoch} at or "
+                f"below its fence ({self.fence[fp]}) — zombie write counted"
+            )
+        self.accepted_ok[fp] = self.accepted_ok.get(fp, 0) + 1
+        if self.accepted_ok[fp] > 1:
+            self._flag(
+                f"fingerprint {fp[:12]} accepted "
+                f"{self.accepted_ok[fp]} ok completions — double counted"
+            )
+        self.live.pop(fp, None)
+
+    def _release_if_holder(self, fp: str, executor: Optional[str]) -> None:
+        holder = self.live.get(fp)
+        if holder is not None and holder[0] == executor:
+            self.live.pop(fp, None)
+
+    def _on_failed(self, p: Dict[str, Any]) -> None:
+        self._release_if_holder(p["fingerprint"], p.get("executor"))
+
+    def _on_fenced(self, p: Dict[str, Any]) -> None:
+        self._release_if_holder(p["fingerprint"], p.get("executor"))
+
+    def _on_duplicate(self, p: Dict[str, Any]) -> None:
+        self._release_if_holder(p["fingerprint"], p.get("executor"))
+
+    def _on_strand(self, p: Dict[str, Any]) -> None:
+        self.live.pop(p["fingerprint"], None)
+
+    def _on_journal(self, p: Dict[str, Any]) -> None:
+        self.journal_entries.append(p["entry"])
+
+
+__all__ = ["InvariantChecker"]

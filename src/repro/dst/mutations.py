@@ -1,0 +1,64 @@
+"""Deliberate protocol bugs, for validating that DST actually catches.
+
+A simulation harness that never fails is indistinguishable from one
+that checks nothing.  Each mutation here re-introduces a specific
+safety bug into the *real* scheduler for the duration of a ``with``
+block; the DST test suite asserts that fault exploration finds a
+violating history for each, and that the shrinker reduces it to a
+handful of events.  ``repro dst --mutate NAME`` exposes the same thing
+for manual runs.
+
+Mutations:
+
+* ``drop-fencing`` — lease fencing disabled entirely: every completion
+  passes the fence check.  A zombie executor's late ``ok`` can then
+  shadow (or double up on) the re-granted attempt's result.
+* ``fence-off-by-one`` — the fence comparison uses ``<`` instead of
+  ``<=``: a zombie writing at *exactly* the reclaimed epoch is
+  accepted.  The classic boundary bug fencing tokens exist to close.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.runner.scheduler import Scheduler
+
+
+def _no_fence(self, fingerprint, epoch):  # noqa: ANN001
+    del self, fingerprint, epoch
+    return False
+
+
+def _off_by_one_fence(self, fingerprint, epoch):  # noqa: ANN001
+    if epoch is None:
+        return False
+    return int(epoch) < self._fence_by_fp.get(fingerprint, 0)
+
+
+MUTATIONS = {
+    "drop-fencing": _no_fence,
+    "fence-off-by-one": _off_by_one_fence,
+}
+
+
+@contextmanager
+def apply_mutation(name: Optional[str]) -> Iterator[None]:
+    """Patch the named bug into the scheduler for the block's duration."""
+    if name is None:
+        yield
+        return
+    if name not in MUTATIONS:
+        raise ValueError(
+            f"unknown mutation {name!r}; known: {', '.join(sorted(MUTATIONS))}"
+        )
+    original = Scheduler._is_fenced
+    Scheduler._is_fenced = MUTATIONS[name]
+    try:
+        yield
+    finally:
+        Scheduler._is_fenced = original
+
+
+__all__ = ["MUTATIONS", "apply_mutation"]

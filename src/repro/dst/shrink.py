@@ -1,0 +1,89 @@
+"""Automatic shrinking of violating fault schedules.
+
+A randomly generated schedule that breaks an invariant usually carries
+events that have nothing to do with the failure.  The shrinker reduces
+it to something a human can read:
+
+1. **Minimal failing prefix** — binary search the shortest prefix of
+   the (deterministically ordered) event list that still violates.
+2. **Greedy elimination** — try dropping each remaining event; keep
+   the drop if the history still violates.  Loop to a fixpoint.
+
+Both passes re-run the full history per candidate, which is affordable
+precisely because the simulation runs on virtual time.  Site-addressed
+fault delivery (and the site-addressed RNG underneath the injector)
+guarantee that removing one event never reshuffles when the survivors
+fire — without that property, shrinking would not converge.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.dst.harness import HistoryResult, run_history
+from repro.dst.schedule import FaultEvent, FaultSchedule
+
+
+def _still_fails(
+    seed: int, events: List[FaultEvent], profile: str,
+) -> Optional[HistoryResult]:
+    """The failing history if *events* still violate, else None."""
+    history = run_history(
+        seed, schedule=FaultSchedule(events), profile=profile,
+    )
+    return None if history.ok else history
+
+
+def shrink_schedule(
+    seed: int,
+    schedule: FaultSchedule,
+    profile: str = "quick",
+    max_runs: int = 200,
+) -> Tuple[FaultSchedule, HistoryResult]:
+    """Minimize *schedule* while it keeps violating; returns the
+    minimal schedule and its failing history.
+
+    Raises:
+        ValueError: the full schedule does not violate at all (nothing
+            to shrink — the caller mixed up seeds).
+    """
+    events = list(FaultSchedule(schedule.events).events)  # sorted copy
+    failing = _still_fails(seed, events, profile)
+    if failing is None:
+        raise ValueError(
+            f"seed {seed}: the full schedule does not violate; "
+            f"nothing to shrink"
+        )
+    runs = 1
+
+    # Pass 1: shortest failing prefix, by bisection.  Invariant:
+    # events[:hi] fails, events[:lo] does not.
+    lo, hi = 0, len(events)
+    while lo < hi - 1 and runs < max_runs:
+        mid = (lo + hi) // 2
+        candidate = _still_fails(seed, events[:mid], profile)
+        runs += 1
+        if candidate is not None:
+            hi, failing = mid, candidate
+        else:
+            lo = mid
+    events = events[:hi]
+
+    # Pass 2: greedy single-event elimination to a fixpoint.
+    changed = True
+    while changed and runs < max_runs:
+        changed = False
+        index = 0
+        while index < len(events) and runs < max_runs:
+            candidate_events = events[:index] + events[index + 1:]
+            candidate = _still_fails(seed, candidate_events, profile)
+            runs += 1
+            if candidate is not None:
+                events, failing = candidate_events, candidate
+                changed = True
+            else:
+                index += 1
+    return FaultSchedule(events), failing
+
+
+__all__ = ["shrink_schedule"]

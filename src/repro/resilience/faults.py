@@ -34,9 +34,14 @@ to survive, so tests can prove every degradation path actually engages:
   circuit breaker, and the verify-before-serve path are provable end
   to end.
 
-Everything is driven by one seeded :class:`random.Random`, so a given
-``(seed, rates)`` configuration injects the identical fault sequence on
-every run.
+Every draw is **site-addressed**: the RNG for one decision is
+``random.Random(f"{seed}:{site}:{occurrence}")`` — seeded from the
+injector seed, the decision site's name, and how many times that site
+has been consulted — never a shared stream.  Two sites cannot perturb
+each other's draws, so injecting (or removing) one fault leaves every
+other decision identical.  That stability is what makes deterministic-
+simulation schedules (:mod:`repro.dst`) shrinkable: dropping an event
+from a fault schedule does not reshuffle the faults that remain.
 """
 
 from __future__ import annotations
@@ -164,7 +169,8 @@ class FaultInjector:
                     f"got {rate}"
                 )
         self.seed = seed
-        self._rng = random.Random(seed)
+        #: Per-site occurrence counters backing :meth:`_site_rng`.
+        self._site_counts: Dict[str, int] = {}
         self.record_corruption_rate = record_corruption_rate
         self.dependency_drop_rate = dependency_drop_rate
         self.power_fault_rate = power_fault_rate
@@ -176,6 +182,20 @@ class FaultInjector:
 
     def _note(self, what: str) -> None:
         self.injected[what] = self.injected.get(what, 0) + 1
+
+    def _site_rng(self, site: str) -> random.Random:
+        """Fresh RNG for one decision at *site*.
+
+        Derived from ``(seed, site, occurrence)`` — string seeds hash
+        through SHA-512, so the stream is stable across processes and
+        ``PYTHONHASHSEED`` values.  Because each site counts its own
+        occurrences, draws at one site can never shift the draws at
+        another: fault schedules stay stable under insertion/removal,
+        which is what lets the DST shrinker converge.
+        """
+        occurrence = self._site_counts.get(site, 0)
+        self._site_counts[site] = occurrence + 1
+        return random.Random(f"{self.seed}:{site}:{occurrence}")
 
     # -- forced solver failures ----------------------------------------------
 
@@ -275,17 +295,18 @@ class FaultInjector:
 
     def corrupt_record(self, record: TraceRecord) -> TraceRecord:
         """Return a corrupted copy of *record* (random corruption mode)."""
-        mode = self._rng.choice(CORRUPTION_MODES)
+        rng = self._site_rng("corrupt-record")
+        mode = rng.choice(CORRUPTION_MODES)
         self._note(f"corrupt:{mode}")
         uid, cpu, addr, dep = record.uid, record.cpu, record.address, record.dep_uid
         if mode == "negative-address":
             addr = -abs(record.address) - 1
         elif mode == "forward-dep":
-            dep = record.uid + self._rng.randint(1, 1000)
+            dep = record.uid + rng.randint(1, 1000)
         elif mode == "self-dep":
             dep = record.uid
         elif mode == "bad-cpu":
-            cpu = -1 if self._rng.random() < 0.5 else cpu + 4096
+            cpu = -1 if rng.random() < 0.5 else cpu + 4096
         elif mode == "uid-regression":
             uid = -record.uid - 1
         return make_raw_record(uid, cpu, record.kind, addr, record.ip, dep)
@@ -296,7 +317,7 @@ class FaultInjector:
         """Yield *records* with a fraction corrupted in place."""
         rate = self.record_corruption_rate
         for record in records:
-            if rate and self._rng.random() < rate:
+            if rate and self._site_rng("corrupt-trace").random() < rate:
                 yield self.corrupt_record(record)
             else:
                 yield record
@@ -307,7 +328,10 @@ class FaultInjector:
         """Yield *records* minus a fraction of loads (dangling deps remain)."""
         rate = self.dependency_drop_rate
         for record in records:
-            if rate and record.is_load and self._rng.random() < rate:
+            if (
+                rate and record.is_load
+                and self._site_rng("drop-producer").random() < rate
+            ):
                 self._note("dropped-producer")
                 continue
             yield record
@@ -325,13 +349,15 @@ class FaultInjector:
         flat = out.ravel()
         rate = self.power_fault_rate
         for i in range(flat.size):
-            if rate and self._rng.random() < rate:
-                if self._rng.random() < 0.5:
-                    flat[i] = float("nan")
-                    self._note("power:nan")
-                else:
-                    flat[i] = max(0.0, flat[i] - abs(flat[i]) - 1.0)
-                    self._note("power:dropout")
+            if rate:
+                rng = self._site_rng("perturb-power")
+                if rng.random() < rate:
+                    if rng.random() < 0.5:
+                        flat[i] = float("nan")
+                        self._note("power:nan")
+                    else:
+                        flat[i] = max(0.0, flat[i] - abs(flat[i]) - 1.0)
+                        self._note("power:dropout")
         return out
 
     # -- bit flips (storage / memory corruption) -----------------------------
@@ -342,8 +368,9 @@ class FaultInjector:
             return data
         buf = bytearray(data)
         for _ in range(max(1, n_flips)):
-            pos = self._rng.randrange(len(buf))
-            bit = self._rng.randrange(8)
+            rng = self._site_rng("flip-bits")
+            pos = rng.randrange(len(buf))
+            bit = rng.randrange(8)
             buf[pos] ^= 1 << bit
             self._note("bitflip:bytes")
         return bytes(buf)
@@ -367,10 +394,11 @@ class FaultInjector:
                 return 0
             flipped = 0
             for _ in range(max(1, n_flips)):
-                pos = self._rng.randrange(offset_min, size)
+                rng = self._site_rng("flip-file-bits")
+                pos = rng.randrange(offset_min, size)
                 handle.seek(pos)
                 byte = handle.read(1)[0]
-                bit = self._rng.randrange(8)
+                bit = rng.randrange(8)
                 handle.seek(pos)
                 handle.write(bytes([byte ^ (1 << bit)]))
                 flipped += 1
@@ -385,8 +413,9 @@ class FaultInjector:
             return 0
         flipped = 0
         for _ in range(max(1, n_flips)):
-            pos = self._rng.randrange(view.size)
-            bit = self._rng.randrange(8)
+            rng = self._site_rng("flip-array-bits")
+            pos = rng.randrange(view.size)
+            bit = rng.randrange(8)
             view[pos] ^= np.uint8(1 << bit)
             flipped += 1
             self._note("bitflip:array")

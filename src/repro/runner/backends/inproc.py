@@ -61,6 +61,69 @@ def _resolve_registry(registry_spec: str) -> Any:
     return getattr(module, attribute)
 
 
+def execute_assignment(assignment: Assignment) -> Dict[str, Any]:
+    """Run one assignment synchronously; returns the attempt outcome.
+
+    The single in-process execution path, shared by
+    :class:`InprocBackend` and the deterministic-simulation fabric
+    (:mod:`repro.dst.fabric`): chaos directives in the spec become
+    synthetic outcomes, everything else goes through the real
+    :func:`repro.core.experiments.run_experiment` with the oracle mode
+    saved and restored around the call.
+    """
+    spec = assignment.spec
+    common = dict(
+        task_id=assignment.task_id,
+        experiment_id=assignment.experiment_id,
+        fingerprint=assignment.fingerprint,
+        seed=assignment.seed,
+        kwargs=dict(assignment.kwargs),
+        attempt=assignment.attempt,
+        elapsed_s=0.0,  # clock-free by design
+        lease_epoch=spec.get("lease_epoch"),
+    )
+    chaos = spec.get("chaos")
+    if chaos in _CHAOS_OUTCOMES:
+        status, error_type, error = _CHAOS_OUTCOMES[chaos]
+        return dict(
+            common, status=status, error=error, error_type=error_type,
+        )
+
+    from repro.core.experiments import run_experiment
+    from repro.oracles.config import get_oracle_config, set_oracle_mode
+
+    previous = get_oracle_config()
+    if spec.get("oracle_mode"):
+        set_oracle_mode(spec["oracle_mode"])
+    try:
+        registry = _resolve_registry(
+            spec.get("registry_spec", "repro.core.experiments:REGISTRY")
+        )
+        outcome = run_experiment(
+            assignment.experiment_id,
+            strict=False,
+            registry=registry,
+            seed=assignment.seed,
+            **assignment.kwargs,
+        )
+    finally:
+        set_oracle_mode(previous)
+    if outcome.ok:
+        return dict(
+            common,
+            status="ok",
+            result=outcome.result,
+            oracles=outcome.oracles or {},
+        )
+    return dict(
+        common,
+        status="error",
+        error=outcome.error,
+        error_type=outcome.error_type or "Exception",
+        oracles=outcome.oracles or {},
+    )
+
+
 class InprocBackend(ExecutorBackend):
     """Synchronous single-executor backend for deterministic tests."""
 
@@ -146,53 +209,4 @@ class InprocBackend(ExecutorBackend):
     # -- execution -----------------------------------------------------------
 
     def _execute(self, assignment: Assignment) -> Dict[str, Any]:
-        spec = assignment.spec
-        common = dict(
-            task_id=assignment.task_id,
-            experiment_id=assignment.experiment_id,
-            fingerprint=assignment.fingerprint,
-            seed=assignment.seed,
-            kwargs=dict(assignment.kwargs),
-            attempt=assignment.attempt,
-            elapsed_s=0.0,  # clock-free by design
-        )
-        chaos = spec.get("chaos")
-        if chaos in _CHAOS_OUTCOMES:
-            status, error_type, error = _CHAOS_OUTCOMES[chaos]
-            return dict(
-                common, status=status, error=error, error_type=error_type,
-            )
-
-        from repro.core.experiments import run_experiment
-        from repro.oracles.config import get_oracle_config, set_oracle_mode
-
-        previous = get_oracle_config()
-        if spec.get("oracle_mode"):
-            set_oracle_mode(spec["oracle_mode"])
-        try:
-            registry = _resolve_registry(
-                spec.get("registry_spec", "repro.core.experiments:REGISTRY")
-            )
-            outcome = run_experiment(
-                assignment.experiment_id,
-                strict=False,
-                registry=registry,
-                seed=assignment.seed,
-                **assignment.kwargs,
-            )
-        finally:
-            set_oracle_mode(previous)
-        if outcome.ok:
-            return dict(
-                common,
-                status="ok",
-                result=outcome.result,
-                oracles=outcome.oracles or {},
-            )
-        return dict(
-            common,
-            status="error",
-            error=outcome.error,
-            error_type=outcome.error_type or "Exception",
-            oracles=outcome.oracles or {},
-        )
+        return execute_assignment(assignment)

@@ -63,6 +63,8 @@ def make_entry(
     oracles: Optional[Dict[str, Any]] = None,
     executor: Optional[str] = None,
     duplicate: bool = False,
+    lease_epoch: Optional[int] = None,
+    fenced: bool = False,
 ) -> Dict[str, Any]:
     """Build one schema-checked journal line.
 
@@ -71,6 +73,11 @@ def make_entry(
     completion that arrived *after* another executor's ``ok`` already
     won the fingerprint — journaled for the record, excluded from
     resume (see :func:`completed_fingerprints`) and aggregation.
+    ``lease_epoch`` is the fencing token the attempt ran under (the
+    grant's position in the fingerprint's grant history); ``fenced=True``
+    marks an audit line for a completion the scheduler *rejected*
+    because its lease epoch was at or below the last reclaimed epoch —
+    a zombie executor's late write, recorded but never resumed from.
     """
     if status not in STATUSES:
         raise ValueError(f"unknown journal status {status!r}; known: {STATUSES}")
@@ -93,6 +100,10 @@ def make_entry(
         entry["executor"] = executor
     if duplicate:
         entry["duplicate"] = True
+    if lease_epoch is not None:
+        entry["lease_epoch"] = int(lease_epoch)
+    if fenced:
+        entry["fenced"] = True
     if oracles:
         entry["oracles"] = oracles
     return entry
@@ -249,10 +260,16 @@ def completed_fingerprints(
 
     Duplicate-completion audit lines (``duplicate: true``) never win:
     the first journaled ``ok`` is the result of record, on resume as
-    during the live campaign.
+    during the live campaign.  Fenced audit lines (``fenced: true``)
+    never win either — they record a zombie executor's rejected write,
+    not a result.
     """
     done: Dict[str, Dict[str, Any]] = {}
     for entry in entries:
-        if entry.get("status") == "ok" and not entry.get("duplicate"):
+        if (
+            entry.get("status") == "ok"
+            and not entry.get("duplicate")
+            and not entry.get("fenced")
+        ):
             done.setdefault(entry["fingerprint"], entry)
     return done

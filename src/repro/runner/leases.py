@@ -43,6 +43,13 @@ class Lease:
         granted_at: Monotonic timestamp of the grant.
         deadline: Monotonic timestamp after which the lease is expired.
         renewals: How many times the lease has been renewed.
+        epoch: Fencing token: the grant's position in the fingerprint's
+            grant history (1 for the first claim, 2 for the first
+            re-grant after a reclaim, ...).  The scheduler stamps the
+            epoch into the assignment and rejects completions carrying
+            an epoch at or below the last *reclaimed* epoch, so a
+            zombie executor's late write can never shadow the result
+            of a fresher attempt.
     """
 
     fingerprint: str
@@ -52,6 +59,7 @@ class Lease:
     granted_at: float
     deadline: float
     renewals: int = 0
+    epoch: int = 1
 
 
 @dataclass
@@ -77,6 +85,7 @@ class LeaseTable:
         executor_id: str,
         attempt: int,
         now: float,
+        epoch: int = 1,
     ) -> Lease:
         """Grant *executor_id* a lease on *fingerprint*.
 
@@ -99,6 +108,7 @@ class LeaseTable:
             attempt=attempt,
             granted_at=now,
             deadline=now + self.ttl_s,
+            epoch=epoch,
         )
         self._by_fp[fingerprint] = lease
         return lease

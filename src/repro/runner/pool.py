@@ -222,6 +222,7 @@ class WorkerPool:
             kwargs=spec.get("kwargs") or {},
             attempt=int(spec.get("attempt", 0)),
             elapsed_s=round(time.monotonic() - handle.started_mono, 4),
+            lease_epoch=spec.get("lease_epoch"),
         )
 
     def _collect_exited(self, handle: WorkerHandle) -> Dict[str, Any]:

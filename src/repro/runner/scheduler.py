@@ -23,6 +23,19 @@ Scheduling is lease-based:
   duplicate delivery) are journaled as ``duplicate`` for audit but
   discarded from aggregation — the sha256 task fingerprints make the
   match exact.
+* Every grant carries a **fencing token** (the lease epoch, stamped
+  into the assignment spec and echoed back in the outcome).  When a
+  lease is reclaimed, its epoch becomes the fingerprint's fence: any
+  completion carrying an epoch at or below the fence is a zombie
+  executor's late write — journaled ``fenced`` for audit, never
+  counted, never resumed from — so a presumed-dead executor can never
+  shadow the result of a fresher attempt.
+
+For deterministic simulation (:mod:`repro.dst`) the scheduler's time
+source, journal construction, and decision points are pluggable via
+``CampaignConfig.clock`` / ``journal_factory`` / ``event_hook``; the
+default wiring is the real monotonic clock and the real journal, with
+hooks disabled.
 
 A campaign that loses an entire executor still ends with a complete
 :class:`~repro.runner.supervisor.CampaignReport`, flagged ``degraded``;
@@ -68,6 +81,18 @@ class _Pending:
     assignment: Optional[Assignment] = field(default=None, repr=False)
 
 
+class _WallClock:
+    """Default time source: the process monotonic clock."""
+
+    @staticmethod
+    def monotonic() -> float:
+        return time.monotonic()
+
+    @staticmethod
+    def sleep(seconds: float) -> None:
+        time.sleep(seconds)
+
+
 class Scheduler:
     """Drives one campaign over one executor backend."""
 
@@ -78,11 +103,18 @@ class Scheduler:
     ) -> None:
         self.config = config or CampaignConfig()
         self._backend = backend
+        self._clock = self.config.clock or _WallClock()
+
+    def _emit(self, kind: str, **payload: Any) -> None:
+        """Fire the config's event hook, if any (DST decision points)."""
+        hook = self.config.event_hook
+        if hook is not None:
+            hook(kind, payload)
 
     # -- assignment construction ---------------------------------------------
 
     def _build_assignment(
-        self, task: CampaignTask, attempt: int
+        self, task: CampaignTask, attempt: int, epoch: int
     ) -> Assignment:
         config = self.config
         chaos = None
@@ -97,6 +129,7 @@ class Scheduler:
                 config.injector.seed if config.injector is not None else 0
             ),
             oracle_mode=config.oracle_mode,
+            lease_epoch=epoch,
             sys_path=[p for p in sys.path if p],
         )
         return Assignment(
@@ -114,7 +147,7 @@ class Scheduler:
 
     def run(self, tasks: Sequence[CampaignTask]) -> CampaignReport:
         config = self.config
-        started = time.monotonic()
+        started = self._clock.monotonic()
         seen: set = set()
         seen_fps: Dict[str, str] = {}
         for task in tasks:
@@ -158,6 +191,11 @@ class Scheduler:
         self._next_attempt: Dict[str, int] = {}
         self._tasks_by_fp: Dict[str, CampaignTask] = {}
         self._dead_executors: set = set()
+        #: Grants issued per fingerprint (the next grant's epoch is one
+        #: more) and the fence: the highest epoch ever *reclaimed* per
+        #: fingerprint.  Completions at or below the fence are zombies.
+        self._epoch_by_fp: Dict[str, int] = {}
+        self._fence_by_fp: Dict[str, int] = {}
 
         to_run = 0
         for task in tasks:
@@ -186,22 +224,24 @@ class Scheduler:
             scratch = Path(config.scratch_dir)
             scratch.mkdir(parents=True, exist_ok=True)
 
-        self._journal = Journal(config.journal_path)
+        journal_factory = config.journal_factory or Journal
+        self._journal = journal_factory(config.journal_path)
         try:
             backend.start(scratch)
             while len(self._final_by_task) < to_run:
-                now = time.monotonic()
+                now = self._clock.monotonic()
                 self._dispatch(backend, now)
                 events = backend.poll()
                 for event in events:
-                    now = time.monotonic()
+                    now = self._clock.monotonic()
                     if event.kind == "renew":
                         self._leases.renew(event.executor, now)
+                        self._emit("renew", executor=event.executor)
                     elif event.kind == "executor-dead":
                         self._on_executor_dead(event.executor, event.detail)
                     elif event.kind == "outcome":
                         self._on_outcome(event.executor, event.outcome or {})
-                for lease in self._leases.expired(time.monotonic()):
+                for lease in self._leases.expired(self._clock.monotonic()):
                     self._reclaim(
                         lease,
                         f"lease expired after {config.lease_ttl_s:g}s "
@@ -213,7 +253,7 @@ class Scheduler:
                     event.kind != "renew" for event in events
                 )
                 if not self._maybe_strand(backend) and not made_progress:
-                    time.sleep(config.poll_interval_s)
+                    self._clock.sleep(config.poll_interval_s)
         finally:
             backend.stop()
             self._journal.close()
@@ -249,7 +289,7 @@ class Scheduler:
         # casualty; either way the campaign completed but is not clean.
         if report.oracle_violations or report.executors_lost:
             report.degraded = True
-        report.wall_clock_s = round(time.monotonic() - started, 4)
+        report.wall_clock_s = round(self._clock.monotonic() - started, 4)
         return report
 
     # -- dispatch ------------------------------------------------------------
@@ -260,19 +300,36 @@ class Scheduler:
         while self._pending and self._pending[0].eligible_mono <= now:
             item = self._pending[0]
             if item.assignment is None:
+                # A pending fingerprint is never currently leased, so
+                # bumping the grant counter here (once per queue entry;
+                # the assignment is cached across saturated polls) is
+                # what makes epochs strictly increase per fingerprint.
+                fp = item.task.fingerprint
+                epoch = self._epoch_by_fp.get(fp, 0) + 1
+                self._epoch_by_fp[fp] = epoch
                 item.assignment = self._build_assignment(
-                    item.task, item.attempt
+                    item.task, item.attempt, epoch
                 )
             executor = backend.try_submit(item.assignment)
             if executor is None:
                 return
             self._pending.pop(0)
+            epoch = int(item.assignment.spec.get("lease_epoch", 1))
             self._leases.claim(
                 item.task.fingerprint,
                 item.task.task_id,
                 executor,
                 item.attempt,
                 now,
+                epoch=epoch,
+            )
+            self._emit(
+                "claim",
+                fingerprint=item.task.fingerprint,
+                task_id=item.task.task_id,
+                executor=executor,
+                attempt=item.attempt,
+                epoch=epoch,
             )
             self._first_claimant.setdefault(item.task.fingerprint, executor)
             if (
@@ -297,7 +354,8 @@ class Scheduler:
             return
         self._dead_executors.add(executor_id)
         self._report.executors_lost += 1
-        now = time.monotonic()
+        self._emit("executor-dead", executor=executor_id, detail=detail)
+        now = self._clock.monotonic()
         for lease in self._leases.evict_executor(executor_id, now):
             self._reclaim(
                 lease,
@@ -307,8 +365,20 @@ class Scheduler:
 
     def _per_executor(self, executor_id: str) -> Dict[str, int]:
         return self._report.per_executor.setdefault(
-            executor_id, {"ok": 0, "failed": 0, "duplicates": 0}
+            executor_id, {"ok": 0, "failed": 0, "duplicates": 0, "fenced": 0}
         )
+
+    def _is_fenced(self, fingerprint: str, epoch: Optional[int]) -> bool:
+        """Is a completion carrying *epoch* a zombie's late write?
+
+        The fence is the highest epoch ever reclaimed for the
+        fingerprint; a completion at or below it comes from a lease
+        holder the scheduler already declared dead.  Outcomes without
+        an epoch (older backends) are never fenced.
+        """
+        if epoch is None:
+            return False
+        return int(epoch) <= self._fence_by_fp.get(fingerprint, 0)
 
     def _on_outcome(
         self, executor_id: str, outcome: Dict[str, Any]
@@ -318,6 +388,26 @@ class Scheduler:
         if task is None:
             return  # not part of this campaign (stale scratch replay)
         report = self._report
+        if self._is_fenced(fingerprint, outcome.get("lease_epoch")):
+            # The lease this attempt ran under was reclaimed: whatever
+            # the zombie reports — even an ``ok`` — must not shadow the
+            # attempt the task was re-granted to.  Journal for audit
+            # (lease custody settled first, as with duplicates) and
+            # discard from every aggregate.
+            report.fenced_completions += 1
+            self._per_executor(executor_id)["fenced"] += 1
+            self._leases.release(fingerprint, executor_id)
+            self._journal_append(self._entry(
+                outcome, executor_id, final=False, fenced=True,
+            ))
+            self._emit(
+                "fenced",
+                fingerprint=fingerprint,
+                executor=executor_id,
+                epoch=outcome.get("lease_epoch"),
+                status=outcome.get("status"),
+            )
+            return
         if fingerprint in self._completed_fps:
             # Idempotent resolution: the first journaled ``ok`` won;
             # this late completion (healed partition, duplicate
@@ -330,9 +420,12 @@ class Scheduler:
             # already been settled (RPL502), and a crash between the
             # two must not strand the fingerprint as still-leased.
             self._leases.release(fingerprint, executor_id)
-            self._journal.append(self._entry(
+            self._journal_append(self._entry(
                 outcome, executor_id, final=False, duplicate=True,
             ))
+            self._emit(
+                "duplicate", fingerprint=fingerprint, executor=executor_id,
+            )
             return
 
         status = outcome.get("status", "crash")
@@ -345,7 +438,7 @@ class Scheduler:
                 if p.task.task_id != task.task_id
             ]
             entry = self._entry(outcome, executor_id, final=True)
-            self._journal.append(entry)
+            self._journal_append(entry)
             self._per_executor(executor_id)["ok"] += 1
             first = self._first_claimant.get(fingerprint)
             if first is not None and first != executor_id:
@@ -353,11 +446,24 @@ class Scheduler:
             final = dict(entry)
             final["retries_used"] = int(outcome.get("attempt", 0))
             self._final_by_task[task.task_id] = final
+            self._emit(
+                "completed",
+                fingerprint=fingerprint,
+                executor=executor_id,
+                epoch=outcome.get("lease_epoch"),
+            )
             return
 
         # A failed attempt.
         self._leases.release(fingerprint, executor_id)
         self._per_executor(executor_id)["failed"] += 1
+        self._emit(
+            "failed",
+            fingerprint=fingerprint,
+            executor=executor_id,
+            status=status,
+            epoch=outcome.get("lease_epoch"),
+        )
         key = (
             outcome.get("error_type") if status == "error" else status
         ) or status
@@ -379,11 +485,11 @@ class Scheduler:
             # The task was already reclaimed and re-granted (or is
             # queued): journal this late failure, but neither retry nor
             # finalize — the live copy owns the task's fate.
-            self._journal.append(self._entry(
+            self._journal_append(self._entry(
                 outcome, executor_id, final=False,
             ))
             return
-        self._journal.append(self._entry(
+        self._journal_append(self._entry(
             outcome, executor_id, final=not retryable,
         ))
         if retryable:
@@ -394,7 +500,7 @@ class Scheduler:
                 task.fingerprint, self._worker_failures[task.task_id]
             )
             self._pending.append(_Pending(
-                task, attempt, time.monotonic() + delay,
+                task, attempt, self._clock.monotonic() + delay,
             ))
         else:
             final = dict(self._entry(
@@ -412,6 +518,13 @@ class Scheduler:
             or task.task_id in self._final_by_task
         ):
             return
+        # Fence the reclaimed epoch *before* anything else: from this
+        # point on, a completion from the old lease holder is a zombie
+        # write and must not be accepted, even if it arrives before the
+        # re-granted attempt finishes.
+        self._fence_by_fp[lease.fingerprint] = max(
+            self._fence_by_fp.get(lease.fingerprint, 0), lease.epoch
+        )
         report = self._report
         report.leases_reclaimed += 1
         report.taxonomy["executor-lost"] = (
@@ -434,9 +547,18 @@ class Scheduler:
             status="executor-lost",
             error=why,
             error_type="ExecutorLost",
+            lease_epoch=lease.epoch,
         )
         entry = self._entry(outcome, lease.executor_id, final=not retryable)
-        self._journal.append(entry)
+        self._journal_append(entry)
+        self._emit(
+            "reclaim",
+            fingerprint=lease.fingerprint,
+            executor=lease.executor_id,
+            epoch=lease.epoch,
+            retryable=retryable,
+            why=why,
+        )
         if retryable:
             # Immediate re-queue: a surviving executor steals the work
             # on the next dispatch round, no backoff — the *task* did
@@ -444,7 +566,7 @@ class Scheduler:
             attempt = self._next_attempt[task.task_id]
             self._next_attempt[task.task_id] = attempt + 1
             self._pending.append(_Pending(
-                task, attempt, time.monotonic(),
+                task, attempt, self._clock.monotonic(),
             ))
         else:
             final = dict(entry)
@@ -481,7 +603,8 @@ class Scheduler:
                 error_type="ExecutorLost",
             )
             entry = self._entry(outcome, executor_id="", final=True)
-            self._journal.append(entry)
+            self._journal_append(entry)
+            self._emit("strand", fingerprint=item.task.fingerprint)
             final = dict(entry)
             final["retries_used"] = int(
                 self._worker_failures.get(item.task.task_id, 0)
@@ -492,13 +615,22 @@ class Scheduler:
 
     # -- journal lines -------------------------------------------------------
 
+    def _journal_append(self, entry: Dict[str, Any]) -> None:
+        # Every scheduler journal line reflects lease-held work (or a
+        # lease reclaim); the custody token travels inside the entry.
+        lease_epoch = entry.get("lease_epoch")
+        self._journal.append(entry)
+        self._emit("journal", entry=entry, lease_epoch=lease_epoch)
+
     @staticmethod
     def _entry(
         outcome: Dict[str, Any],
         executor_id: str,
         final: bool,
         duplicate: bool = False,
+        fenced: bool = False,
     ) -> Dict[str, Any]:
+        lease_epoch = outcome.get("lease_epoch")
         return make_entry(
             task_id=outcome["task_id"],
             experiment_id=outcome["experiment_id"],
@@ -515,6 +647,10 @@ class Scheduler:
             oracles=outcome.get("oracles"),
             executor=executor_id or None,
             duplicate=duplicate,
+            lease_epoch=(
+                int(lease_epoch) if lease_epoch is not None else None
+            ),
+            fenced=fenced,
         )
 
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.experiments import task_fingerprint
 from repro.resilience.faults import FaultInjector
@@ -67,6 +67,15 @@ class CampaignConfig:
     reclaims the lease and lets a surviving executor steal the work;
     ``lease_reclaim_budget`` bounds how many times one task may be
     reclaimed before it is finalized as failed.
+
+    The last three knobs exist for deterministic simulation
+    (:mod:`repro.dst`): ``clock`` swaps the scheduler's time source
+    (any object with ``monotonic()`` and ``sleep(seconds)``; None means
+    the real monotonic clock), ``event_hook`` receives
+    ``(kind, payload)`` after every scheduler decision (claim, outcome,
+    reclaim, journal append, ...), and ``journal_factory`` builds the
+    journal from its path (None means :class:`repro.runner.journal.
+    Journal`) so a simulated journal can tear writes on purpose.
     """
 
     workers: int = 2
@@ -85,6 +94,9 @@ class CampaignConfig:
     lease_ttl_s: float = 15.0
     lease_reclaim_budget: int = 3
     workers_per_node: int = 0  # 0: inherit ``workers``
+    clock: Optional[Any] = None
+    event_hook: Optional[Callable[[str, Dict[str, Any]], None]] = None
+    journal_factory: Optional[Callable[[str], Any]] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -136,6 +148,7 @@ class CampaignReport:
     executors_lost: int = 0
     leases_reclaimed: int = 0
     duplicate_completions: int = 0
+    fenced_completions: int = 0
     work_stolen: int = 0
     per_executor: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
@@ -159,6 +172,7 @@ class CampaignReport:
             "leases_reclaimed": self.leases_reclaimed,
             "work_stolen": self.work_stolen,
             "duplicates_discarded": self.duplicate_completions,
+            "fenced_discarded": self.fenced_completions,
             "per_executor": {
                 executor: dict(counts)
                 for executor, counts in self.per_executor.items()
@@ -186,6 +200,7 @@ class CampaignReport:
             "executors_lost": self.executors_lost,
             "leases_reclaimed": self.leases_reclaimed,
             "duplicate_completions": self.duplicate_completions,
+            "fenced_completions": self.fenced_completions,
             "work_stolen": self.work_stolen,
             "per_executor": {
                 executor: dict(counts)

@@ -1,0 +1,177 @@
+"""Simulated transport for the service protection pipeline.
+
+The HTTP server in :mod:`repro.service.server` owns sockets, threads,
+and the wall clock — none of which may exist inside a deterministic
+simulation.  :class:`SimGateway` re-composes the *real* protection
+state machines (:class:`~repro.service.protection.RateLimiter`,
+:class:`~repro.service.protection.AdmissionPolicy`,
+:class:`~repro.service.protection.CircuitBreaker`) and the real
+in-memory :class:`~repro.service.jobstore.JobStore` behind a
+callable interface driven by the DST harness on virtual time, recording
+every breaker transition and response so the protocol predicates in
+:mod:`repro.oracles.protocol` can audit the whole interaction
+afterwards.
+
+The request pipeline mirrors the server's ordering exactly —
+rate-limit, then validate, then single-flight, then admit — because
+the *ordering* is part of what the simulation is checking (e.g. a
+flood must burn 429s before it can fill the queue).  As in the real
+server, the breaker gates only the backend boundary
+(:meth:`SimGateway.backend_turn`): a submission never consumes the
+half-open probe slot, which belongs to the job that will actually
+touch the backend.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.service.jobstore import DONE, FAILED, JobStore, QUEUED, RUNNING
+from repro.service.protection import (
+    AdmissionPolicy,
+    CircuitBreaker,
+    RateLimiter,
+)
+
+#: Experiment ids the simulated gateway accepts.
+KNOWN_EXPERIMENTS = ("dst-unit-a", "dst-unit-b", "dst-unit-c")
+
+
+class SimGateway:
+    """The service's decision pipeline with transport stripped away."""
+
+    def __init__(
+        self,
+        rate: float = 5.0,
+        burst: float = 4.0,
+        queue_depth: int = 8,
+        watermark: int = 6,
+        failure_threshold: int = 3,
+        reset_after_s: float = 2.0,
+    ) -> None:
+        self.limiter = RateLimiter(rate=rate, burst=burst, max_clients=64)
+        self.admission = AdmissionPolicy(
+            depth=queue_depth, watermark=watermark
+        )
+        self.breaker = CircuitBreaker(
+            failure_threshold=failure_threshold,
+            reset_after_s=reset_after_s,
+        )
+        self.store = JobStore(journal_path=None)
+        self.queue: List[str] = []
+        #: ``(event, state_before, state_after)`` breaker audit trail.
+        self.transitions: List[Tuple[str, str, str]] = []
+        #: Every response the gateway produced, in order.
+        self.responses: List[Dict[str, Any]] = []
+
+    # -- breaker bookkeeping -------------------------------------------------
+
+    def _breaker_allow(self, now: float) -> bool:
+        before = self.breaker.state
+        allowed = self.breaker.allow(now)
+        self.transitions.append(("allow", before, self.breaker.state))
+        return allowed
+
+    def _breaker_success(self) -> None:
+        before = self.breaker.state
+        self.breaker.record_success()
+        self.transitions.append(("success", before, self.breaker.state))
+
+    def _breaker_failure(self, now: float) -> None:
+        before = self.breaker.state
+        self.breaker.record_failure(now)
+        self.transitions.append(("failure", before, self.breaker.state))
+
+    # -- the request path ----------------------------------------------------
+
+    def _respond(self, status: int, **extra: Any) -> Dict[str, Any]:
+        response = dict(extra, status=status)
+        self.responses.append(response)
+        return response
+
+    def submit(
+        self,
+        client: str,
+        experiment_id: str,
+        fingerprint: str,
+        now: float,
+        kwargs: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """One POST /jobs on virtual time *now*."""
+        allowed, wait = self.limiter.check(client, now)
+        if not allowed:
+            return self._respond(429, retry_after=wait)
+        if experiment_id not in KNOWN_EXPERIMENTS:
+            return self._respond(400, error="unknown experiment")
+        existing = self.store.get(fingerprint)
+        if existing is not None and existing.state in (QUEUED, RUNNING):
+            self.store.note_coalesced(existing)
+            return self._respond(202, coalesced=True, fingerprint=fingerprint)
+        if existing is not None and existing.state == DONE:
+            return self._respond(200, fingerprint=fingerprint, cached=True)
+        if not self.admission.admit(len(self.queue)):
+            return self._respond(503, reason="queue above watermark")
+        job, created = self.store.get_or_create(
+            fingerprint=fingerprint,
+            experiment_id=experiment_id,
+            kwargs=dict(kwargs or {}),
+            seed=None,
+            registry_spec="repro.dst.workload:DST_REGISTRY",
+        )
+        if created or job.state == QUEUED:
+            self.queue.append(fingerprint)
+        return self._respond(202, fingerprint=fingerprint)
+
+    def poll_job(self, fingerprint: str, now: float) -> Dict[str, Any]:
+        """One GET /jobs/<fp> on virtual time *now*."""
+        del now
+        job = self.store.get(fingerprint)
+        if job is None:
+            return self._respond(404)
+        if job.state == DONE:
+            return self._respond(200, fingerprint=fingerprint)
+        if job.state == FAILED:
+            return self._respond(408, fingerprint=fingerprint)
+        return self._respond(202, state=job.state)
+
+    # -- the backend side ----------------------------------------------------
+
+    def backend_turn(self, now: float, fail: bool = False) -> Optional[str]:
+        """Run (or fail) the oldest queued job; returns its fingerprint.
+
+        *fail* simulates a backend loss (the ``svc-backend-fail``
+        fault): the job is requeued and the breaker records the loss.
+        Success records into the breaker and marks the job done.
+        """
+        if not self.queue:
+            return None
+        fingerprint = self.queue[0]
+        if not self._breaker_allow(now):
+            return None
+        self.queue.pop(0)
+        job = self.store.get(fingerprint)
+        if job is None or job.state != QUEUED:
+            # Discarded or already settled; nothing to run.
+            return fingerprint
+        self.store.mark_running(job)
+        if fail:
+            self._breaker_failure(now)
+            self.store.mark_requeued(job, "backend lost (simulated)")
+            self.queue.append(fingerprint)
+            return fingerprint
+        self._breaker_success()
+        self.store.mark_done(job)
+        return fingerprint
+
+    # -- audit ---------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "queue_depth": len(self.queue),
+            "breaker": self.breaker.snapshot(),
+            "jobs": self.store.counts(),
+            "responses": len(self.responses),
+        }
+
+
+__all__ = ["KNOWN_EXPERIMENTS", "SimGateway"]

@@ -269,16 +269,20 @@ class TestMutationsOnRealSources:
                       lines=text.splitlines())
 
     def test_scheduler_journal_swap_triggers_rpl502(self):
+        # Appends are funneled through _journal_append (which also
+        # notifies the event hook); the pass treats funnel calls as
+        # appends at the call site, so swapping the duplicate branch's
+        # release below the append is still caught.
         text = (SRC / "runner" / "scheduler.py").read_text()
         fixed = (
             "            self._leases.release(fingerprint, executor_id)\n"
-            "            self._journal.append(self._entry(\n"
+            "            self._journal_append(self._entry(\n"
             "                outcome, executor_id, final=False, "
             "duplicate=True,\n"
             "            ))\n"
         )
         broken = (
-            "            self._journal.append(self._entry(\n"
+            "            self._journal_append(self._entry(\n"
             "                outcome, executor_id, final=False, "
             "duplicate=True,\n"
             "            ))\n"

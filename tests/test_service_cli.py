@@ -153,6 +153,7 @@ class TestBackendTallies:
             leases_reclaimed=2,
             work_stolen=2,
             duplicate_completions=1,
+            fenced_completions=1,
             per_executor={"node-0": {"ok": 3, "failed": 1}},
         )
         tallies = report.to_dict()["backend_tallies"]
@@ -162,6 +163,7 @@ class TestBackendTallies:
             "leases_reclaimed": 2,
             "work_stolen": 2,
             "duplicates_discarded": 1,
+            "fenced_discarded": 1,
             "per_executor": {"node-0": {"ok": 3, "failed": 1}},
         }
 

@@ -1,0 +1,158 @@
+"""Torn-write sweep over service spool journals and cached results.
+
+The service's durability story is "quarantine or replay, never garbage":
+a journal truncated at *any* byte offset must scan to a clean prefix of
+the original entries (the job whose line was torn simply re-runs), and
+a result-cache artifact truncated at any offset must quarantine rather
+than serve.  These tests brute-force every offset instead of sampling —
+the sweep is cheap and the property is exactly per-byte.
+"""
+
+import json
+
+import pytest
+
+from repro.oracles.integrity import attach_crc
+from repro.runner.journal import (
+    Journal,
+    completed_fingerprints,
+    make_entry,
+    scan_journal,
+)
+from repro.service.resultcache import ResultCache
+
+
+def _spool_entries():
+    """Entries shaped like a service spool journal: per-attempt outcome
+    lines for one fingerprint plus audit lines that must never win."""
+    fp = "feedbeef" * 8
+    other = "abadcafe" * 8
+    return fp, [
+        make_entry("job-1", "dst-unit-a", fp, "error", attempt=1,
+                   final=False, kwargs={"value": 3}, error="boom",
+                   error_type="RuntimeError"),
+        make_entry("job-1", "dst-unit-a", fp, "ok", attempt=2, final=True,
+                   kwargs={"value": 3}, result={"value": 7, "tag": "t"},
+                   executor="w1", lease_epoch=2),
+        make_entry("job-1", "dst-unit-a", fp, "ok", attempt=3, final=True,
+                   kwargs={"value": 3}, result={"value": 99, "tag": "z"},
+                   executor="w2", duplicate=True, lease_epoch=1),
+        make_entry("job-2", "dst-unit-b", other, "ok", attempt=1,
+                   final=True, kwargs={"value": 5},
+                   result={"value": 25, "tag": "u"}, executor="w1",
+                   lease_epoch=1),
+    ]
+
+
+@pytest.fixture()
+def spool_journal(tmp_path):
+    fp, entries = _spool_entries()
+    path = tmp_path / "spool" / f"{fp}.a2.jsonl"
+    with Journal(path) as journal:
+        for entry in entries:
+            journal.append(entry)
+    return fp, entries, path
+
+
+class TestTruncationSweep:
+    def test_every_byte_offset_yields_a_clean_prefix(
+        self, spool_journal, tmp_path
+    ):
+        """scan_journal at every truncation point: never raises, never
+        fabricates, returns only a complete prefix of what was written."""
+        fp, entries, path = spool_journal
+        raw = path.read_bytes()
+        full, torn, crc_failed = scan_journal(path)
+        assert (len(full), torn, crc_failed) == (len(entries), 0, 0)
+        cut_path = tmp_path / "cut.jsonl"
+        for offset in range(len(raw) + 1):
+            cut_path.write_bytes(raw[:offset])
+            got, torn, crc_failed = scan_journal(cut_path)
+            assert crc_failed == 0, f"offset {offset}: CRC noise from a cut"
+            assert torn <= 1, f"offset {offset}: one cut tore {torn} lines"
+            # A truncation can only remove whole entries from the tail
+            # (plus at most one torn fragment) — never corrupt a
+            # surviving one and never invent one.
+            assert got == full[: len(got)], f"offset {offset}"
+
+    def test_winner_is_served_whole_or_replayed(
+        self, spool_journal, tmp_path
+    ):
+        """The resume decision under truncation: either the exact
+        winning entry survives, or the fingerprint is absent and the
+        job re-runs.  Duplicate audit lines never get promoted."""
+        fp, entries, path = spool_journal
+        raw = path.read_bytes()
+        winner = completed_fingerprints(scan_journal(path)[0])[fp]
+        assert winner["result"] == {"value": 7, "tag": "t"}
+        cut_path = tmp_path / "cut.jsonl"
+        for offset in range(len(raw) + 1):
+            cut_path.write_bytes(raw[:offset])
+            done = completed_fingerprints(scan_journal(cut_path)[0])
+            if fp in done:
+                assert done[fp] == winner, f"offset {offset}"
+            # else: replay — the job simply runs again.
+
+    def test_append_after_truncation_repairs_the_tail(
+        self, spool_journal, tmp_path
+    ):
+        """A retry appending after a mid-line kill must not weld onto
+        the torn fragment: the fragment alone is sacrificed."""
+        fp, entries, path = spool_journal
+        raw = path.read_bytes()
+        # Cut strictly inside the last line.
+        last_start = raw.rstrip(b"\n").rfind(b"\n") + 1
+        cut_path = tmp_path / "retry.jsonl"
+        cut_path.write_bytes(raw[: last_start + 10])
+        retry = make_entry("job-2", "dst-unit-b", "abadcafe" * 8, "ok",
+                           attempt=2, final=True, kwargs={"value": 5},
+                           result={"value": 25, "tag": "u"})
+        with Journal(cut_path) as journal:
+            journal.append(retry)
+        got, torn, crc_failed = scan_journal(cut_path)
+        assert torn == 1 and crc_failed == 0
+        assert got[-1]["attempt"] == 2
+        # Everything before the retry is an untouched prefix of the
+        # original journal.
+        assert got[:-1] == scan_journal(path)[0][: len(got) - 1]
+
+    def test_in_line_bitflip_is_crc_failed_not_served(
+        self, spool_journal, tmp_path
+    ):
+        """Corruption *inside* a line that still parses as JSON must be
+        caught by the per-line CRC, not resumed from."""
+        fp, entries, path = spool_journal
+        lines = path.read_bytes().splitlines(keepends=True)
+        doctored = json.loads(lines[1])
+        doctored["result"] = {"value": 8, "tag": "t"}  # flipped value
+        lines[1] = (
+            json.dumps(doctored, sort_keys=True).encode() + b"\n"
+        )
+        bad = tmp_path / "flipped.jsonl"
+        bad.write_bytes(b"".join(lines))
+        got, torn, crc_failed = scan_journal(bad)
+        assert crc_failed == 1 and torn == 0
+        assert fp not in completed_fingerprints(got)
+
+
+class TestResultCacheTruncationSweep:
+    def test_every_truncation_quarantines_never_serves(self, tmp_path):
+        fp = "cafe" * 16
+        entry = attach_crc(make_entry(
+            "job-1", "dst-unit-a", fp, "ok", attempt=1, final=True,
+            kwargs={"value": 1}, result={"value": 3, "tag": "q"},
+        ))
+        reference = ResultCache(tmp_path / "ref")
+        artifact = reference.store(fp, entry).read_bytes()
+        loaded, why = reference.load_verified(fp)
+        assert why == "hit" and loaded["result"] == {"value": 3, "tag": "q"}
+        for offset in range(len(artifact)):
+            cache = ResultCache(tmp_path / f"cut-{offset}")
+            cache.path(fp).write_bytes(artifact[:offset])
+            loaded, why = cache.load_verified(fp)
+            assert loaded is None, f"offset {offset}: served a truncation"
+            assert why.startswith("quarantined"), f"offset {offset}: {why}"
+            # Quarantine moved the file aside: the next read is a plain
+            # miss and the caller re-simulates.
+            assert not cache.path(fp).exists()
+            assert cache.load_verified(fp) == (None, "miss")
